@@ -1,0 +1,67 @@
+"""ABL4 — speculative-subtree cancellation (paper §IV-C prose).
+
+The paper's choice mechanism merely *ignores* losing evaluations; this
+repo's layer 4 can optionally propagate cancellations.  The bench measures
+the drain-time and traffic effect on the SAT suite.  Cancels travel at the
+same one-hop-per-step speed as the work frontier, so the win is in drain
+time and suppressed replies rather than prevented invocations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sat import solve_on_machine
+from repro.bench import format_table, sat_suite
+from repro.topology import Torus
+
+DIMS = (10, 10)
+
+
+def run_cancellation_sweep(preset):
+    problems = sat_suite(preset)
+    rows = []
+    for label, cancellation in (("ignore (paper)", False), ("cancel", True)):
+        cts, sents, completions = [], [], []
+        for i, cnf in enumerate(problems):
+            res = solve_on_machine(
+                cnf,
+                Torus(DIMS),
+                cancellation=cancellation,
+                simplify="none",
+                seed=preset.seed + i,
+                max_steps=preset.max_steps,
+            )
+            assert res.verified
+            cts.append(res.report.computation_time)
+            sents.append(res.report.sent_total)
+            completions.append(res.engine_stats.completions)
+        n = len(problems)
+        rows.append(
+            {
+                "config": label,
+                "ct": sum(cts) / n,
+                "sent": sum(sents) / n,
+                "completions": sum(completions) / n,
+            }
+        )
+    return rows
+
+
+def test_bench_cancellation(benchmark, preset, emit):
+    rows = benchmark.pedantic(
+        run_cancellation_sweep, args=(preset,), rounds=1, iterations=1
+    )
+    emit(format_table(
+        ["config", "mean drain time", "mean msgs", "mean completions"],
+        [
+            [r["config"], round(r["ct"], 1), round(r["sent"]), round(r["completions"])]
+            for r in rows
+        ],
+        title="ABL4 — choice losers: ignored vs cancelled (100-core torus)",
+    ))
+    ignore, cancel = rows[0], rows[1]
+    # cancellation suppresses replies of abandoned subtrees
+    assert cancel["completions"] < ignore["completions"]
+    # and never slows the drain
+    assert cancel["ct"] <= ignore["ct"] * 1.02

@@ -1,0 +1,79 @@
+"""ABL7 — local simplification depth: the work/communication trade-off.
+
+The calibration finding behind the Figure-4/5 defaults (see EXPERIMENTS.md):
+how much simplification each node performs before branching controls the
+total message volume by an order of magnitude.  ``none`` reproduces the
+scale of the paper's published traces; ``fixpoint`` minimises communication
+at the cost of local work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sat import SatProblem, make_solve_sat, sat_content_size
+from repro.bench import format_table, sat_suite
+from repro.netsim import make_envelope_sizer
+from repro.stack import HyperspaceStack
+from repro.topology import Torus
+
+MODES = ("none", "single", "fixpoint")
+DIMS = (14, 14)
+
+
+def run_simplify_sweep(preset):
+    problems = sat_suite(preset)
+    rows = []
+    for mode in MODES:
+        cts, sents, invs, traffic = [], [], [], []
+        for i, cnf in enumerate(problems):
+            stack = HyperspaceStack(
+                Torus(DIMS),
+                seed=preset.seed + i,
+                size_fn=make_envelope_sizer(sat_content_size),
+            )
+            raw, report = stack.run_recursive(
+                make_solve_sat(simplify=mode),
+                SatProblem(cnf),
+                halt_on_result=False,
+                max_steps=preset.max_steps,
+            )
+            assert raw is not None and cnf.is_satisfied_by(dict(raw))
+            cts.append(report.computation_time)
+            sents.append(report.sent_total)
+            traffic.append(report.traffic_total)
+            invs.append(stack.last_run.engine_stats.invocations)
+        n = len(problems)
+        rows.append(
+            {
+                "mode": mode,
+                "ct": sum(cts) / n,
+                "sent": sum(sents) / n,
+                "traffic": sum(traffic) / n,
+                "invocations": sum(invs) / n,
+            }
+        )
+    return rows
+
+
+def test_bench_simplification_depth(benchmark, preset, emit):
+    rows = benchmark.pedantic(
+        run_simplify_sweep, args=(preset,), rounds=1, iterations=1
+    )
+    emit(format_table(
+        ["simplify", "mean ct", "mean msgs", "mean traffic (words)", "mean invocations"],
+        [
+            [r["mode"], round(r["ct"], 1), round(r["sent"]),
+             round(r["traffic"]), round(r["invocations"])]
+            for r in rows
+        ],
+        title="ABL7 — per-node simplification depth (196-core 2D torus)",
+    ))
+    by = {r["mode"]: r for r in rows}
+    # message volume strictly ordered: none > single > fixpoint
+    assert by["none"]["sent"] > by["single"]["sent"] > by["fixpoint"]["sent"]
+    # ... and so is bandwidth, by an order of magnitude end to end
+    assert by["none"]["traffic"] > by["single"]["traffic"] > by["fixpoint"]["traffic"]
+    assert by["none"]["traffic"] > 5 * by["fixpoint"]["traffic"]
+    # deeper local simplification also finishes in fewer steps here
+    assert by["fixpoint"]["ct"] <= by["none"]["ct"]

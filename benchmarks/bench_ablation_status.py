@@ -1,0 +1,83 @@
+"""ABL1 — status-overhead ablation (paper §V-D prose).
+
+The paper attributes adaptive mapping's cost on small machines to its
+under-the-hood status machinery.  This bench sweeps the explicit-status
+broadcast threshold on a small (saturated) and a large (unsaturated) 2D
+torus and shows:
+
+* more status traffic (lower threshold) monotonically inflates message
+  counts on both machines;
+* the *relative* slowdown from the chattiest setting is worse on the small
+  machine — the mechanism behind Figure 4's "adaptive mapping had a
+  negative impact ... for smaller topologies".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sat import solve_on_machine
+from repro.bench import format_table, sat_suite
+from repro.topology import Torus
+
+THRESHOLDS = (None, 32, 16, 8, 4)
+SMALL_DIMS = (4, 4)
+LARGE_DIMS = (22, 22)
+
+
+def run_status_sweep(preset):
+    problems = sat_suite(preset)
+    table = {}
+    for dims in (SMALL_DIMS, LARGE_DIMS):
+        rows = []
+        for threshold in THRESHOLDS:
+            cts, sents = [], []
+            for i, cnf in enumerate(problems):
+                res = solve_on_machine(
+                    cnf,
+                    Torus(dims),
+                    mapper="lbn",
+                    status=threshold,
+                    simplify="none",
+                    seed=preset.seed + i,
+                    max_steps=preset.max_steps,
+                )
+                cts.append(res.report.computation_time)
+                sents.append(res.report.sent_total)
+            rows.append(
+                {
+                    "threshold": "off" if threshold is None else threshold,
+                    "mean_ct": sum(cts) / len(cts),
+                    "mean_sent": sum(sents) / len(sents),
+                }
+            )
+        table[dims] = rows
+    return table
+
+
+def test_bench_status_overhead(benchmark, preset, emit):
+    table = benchmark.pedantic(
+        run_status_sweep, args=(preset,), rounds=1, iterations=1
+    )
+    for dims, rows in table.items():
+        emit(format_table(
+            ["status threshold", "mean computation time", "mean msgs"],
+            [
+                [r["threshold"], round(r["mean_ct"], 1), round(r["mean_sent"])]
+                for r in rows
+            ],
+            title=f"ABL1 — LBN status-overhead sweep on torus {dims}",
+        ))
+    for dims, rows in table.items():
+        sents = [r["mean_sent"] for r in rows]
+        assert sents == sorted(sents), f"{dims}: status traffic not monotone"
+    small, large = table[SMALL_DIMS], table[LARGE_DIMS]
+    # chattiest config slows the saturated small machine outright ...
+    assert small[-1]["mean_ct"] > small[0]["mean_ct"]
+    # ... and its *relative* cost exceeds the large machine's
+    small_penalty = small[-1]["mean_ct"] / small[0]["mean_ct"]
+    large_penalty = large[-1]["mean_ct"] / large[0]["mean_ct"]
+    assert small_penalty > large_penalty, (
+        f"status overhead should bite hardest when saturated "
+        f"(small x{small_penalty:.2f} vs large x{large_penalty:.2f})"
+    )

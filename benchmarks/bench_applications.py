@@ -1,0 +1,95 @@
+"""Application zoo benchmarks: every layer-5 solver timed end to end.
+
+Times each combinatorial application on the same 64-core torus with
+adaptive mapping, verifying every answer against its sequential reference.
+These are conventional pytest-benchmark timings (many rounds) of the whole
+stack, complementing the single-shot figure sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.coloring import ColoringProblem, color_graph, cycle_graph, is_valid_coloring
+from repro.apps.knapsack import knapsack, random_knapsack_problem, sequential_knapsack
+from repro.apps.nqueens import QueensProblem, is_valid_placement, nqueens
+from repro.apps.sat import SatProblem, make_solve_sat, uf20_91_suite
+from repro.apps.subsetsum import random_subset_sum_problem, subset_sum
+from repro.apps.tsp import TspProblem, random_distance_matrix, sequential_tsp, tsp
+from repro.stack import HyperspaceStack
+from repro.topology import Torus
+
+TOPO_DIMS = (8, 8)
+
+
+def make_stack():
+    return HyperspaceStack(Torus(TOPO_DIMS), mapper="lbn", seed=11)
+
+
+def test_bench_app_sat(benchmark):
+    cnf = uf20_91_suite(1, seed=11)[0]
+    fn = make_solve_sat(simplify="single")
+
+    def run():
+        model, _ = make_stack().run_recursive(fn, SatProblem(cnf))
+        return model
+
+    model = benchmark(run)
+    assert model is not None and cnf.is_satisfied_by(dict(model))
+
+
+def test_bench_app_nqueens(benchmark):
+    def run():
+        sol, _ = make_stack().run_recursive(nqueens, QueensProblem(7))
+        return sol
+
+    sol = benchmark(run)
+    assert is_valid_placement(7, tuple(sol))
+
+
+def test_bench_app_coloring(benchmark):
+    edges = cycle_graph(9)
+    problem = ColoringProblem.build(9, edges, 3)
+
+    def run():
+        sol, _ = make_stack().run_recursive(color_graph, problem)
+        return sol
+
+    sol = benchmark(run)
+    assert is_valid_coloring(9, edges, sol, 3)
+
+
+def test_bench_app_subset_sum(benchmark):
+    problem = random_subset_sum_problem(12, random.Random(11), satisfiable=True)
+
+    def run():
+        sol, _ = make_stack().run_recursive(subset_sum, problem)
+        return sol
+
+    sol = benchmark(run)
+    assert sum(sol) == problem.remaining_target
+
+
+def test_bench_app_knapsack(benchmark):
+    problem = random_knapsack_problem(10, 50, random.Random(11))
+    expected = sequential_knapsack(problem.items, problem.capacity)
+
+    def run():
+        value, _ = make_stack().run_recursive(knapsack, problem)
+        return value
+
+    assert benchmark(run) == expected
+
+
+def test_bench_app_tsp(benchmark):
+    dist = random_distance_matrix(6, random.Random(11))
+    expected = sequential_tsp(dist)[0]
+    problem = TspProblem.build(dist)
+
+    def run():
+        (cost, _), _ = make_stack().run_recursive(tsp, problem)
+        return cost
+
+    assert benchmark(run) == expected

@@ -1,0 +1,95 @@
+"""FIG4 — regenerate paper Figure 4: SAT solver scalability.
+
+Sweeps {2D torus, 3D torus} x {round robin, least busy neighbour} plus the
+fully connected baseline over machine sizes, averaging performance
+(1/computation time) over the uf20-91 stand-in suite, and asserts every
+qualitative claim the paper draws from the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import render_figure4, run_figure4
+from repro.bench.figure4 import assert_figure4_shape
+
+
+@pytest.fixture(scope="module")
+def figure4(preset, emit, request):
+    result = run_figure4(preset)
+    emit(render_figure4(result))
+    return result
+
+
+def test_bench_figure4_sweep(benchmark, preset, emit):
+    """Time one full Figure-4 sweep (the headline regeneration)."""
+    result = benchmark.pedantic(
+        run_figure4, args=(preset,), rounds=1, iterations=1
+    )
+    emit(render_figure4(result))
+    # every series is present (duplicate snapped machine sizes are deduped)
+    assert len(result.labels()) == 5
+    assert all(len(result.series(l)) >= len(preset.core_counts) - 2
+               for l in result.labels())
+    assert_figure4_shape(result)
+
+
+class TestFigure4Shape:
+    """The paper's qualitative claims (§V-D), asserted on regenerated data."""
+
+    def test_performance_rises_with_cores(self, figure4):
+        for label in figure4.labels():
+            pts = figure4.series(label)
+            assert pts[-1].performance > pts[0].performance, label
+
+    def test_fully_connected_is_upper_envelope_at_scale(self, figure4):
+        full = figure4.performance_at_scale("Fully connected")
+        for label in figure4.labels():
+            if label != "Fully connected":
+                assert full >= 0.95 * figure4.performance_at_scale(label), label
+
+    def test_3d_beats_2d_at_scale_same_mapper(self, figure4):
+        for mapper in ("RR", "LBN"):
+            p2 = figure4.performance_at_scale(f"2D Torus + {mapper}")
+            p3 = figure4.performance_at_scale(f"3D Torus + {mapper}")
+            assert p3 > p2, mapper
+
+    def test_adaptive_hurts_small_machines(self, figure4):
+        # paper: "Adaptive mapping had a negative impact on absolute
+        # performance for smaller topologies (< 100 cores)"
+        for dim in ("2D", "3D"):
+            rr = figure4.series(f"{dim} Torus + RR")[0]
+            lbn = figure4.series(f"{dim} Torus + LBN")[0]
+            assert lbn.performance < rr.performance, dim
+
+    def test_adaptive_helps_large_machines(self, figure4):
+        # the crossover: LBN wins at the largest 2D machine
+        rr = figure4.performance_at_scale("2D Torus + RR")
+        lbn = figure4.performance_at_scale("2D Torus + LBN")
+        assert lbn > rr
+
+    def test_2d_adaptive_comparable_to_3d_static(self, figure4):
+        # paper: "large 2D machines with adaptive mapping performed just as
+        # well as 3D machines with static (round-robin) mapping"
+        lbn2d = figure4.performance_at_scale("2D Torus + LBN")
+        rr3d = figure4.performance_at_scale("3D Torus + RR")
+        assert lbn2d >= 0.5 * rr3d
+        assert lbn2d >= 1.2 * figure4.performance_at_scale("2D Torus + RR")
+
+    def test_3d_adaptive_near_fully_connected(self, figure4):
+        # paper: "large 3D machines with adaptive mapping performed nearly
+        # like fully connected machines"
+        lbn3d = figure4.performance_at_scale("3D Torus + LBN")
+        full = figure4.performance_at_scale("Fully connected")
+        assert lbn3d >= 0.7 * full
+
+    def test_saturation_meshes_flatten(self, figure4):
+        # 2D+RR saturates: the last two points are within 20% of each other
+        pts = figure4.series("2D Torus + RR")
+        assert pts[-1].performance <= 1.2 * pts[-2].performance
+
+    def test_workload_mapper_overhead_visible(self, figure4):
+        # LBN's status traffic means more total messages than RR
+        rr = figure4.series("2D Torus + RR")[-1].mean_sent
+        lbn = figure4.series("2D Torus + LBN")[-1].mean_sent
+        assert lbn > rr

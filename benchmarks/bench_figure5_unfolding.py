@@ -1,0 +1,79 @@
+"""FIG5 — regenerate paper Figure 5: temporal and spatial unfolding.
+
+Profiles the solver on the paper's 196-core 2D torus, printing the
+superimposed interconnect-activity traces and the node-activity heatmaps,
+and asserting §V-E's qualitative claims: least-busy-neighbour mapping
+yields "a larger degree of spatial unfolding, more astute message queuing
+and hence faster execution" than round robin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import render_figure5, run_figure5
+from repro.bench.figure5 import assert_figure5_shape
+from repro.netsim import spatial_entropy
+
+
+@pytest.fixture(scope="module")
+def figure5(preset, emit):
+    result = run_figure5(preset)
+    emit(render_figure5(result))
+    return result
+
+
+def test_bench_figure5_profile(benchmark, preset, emit):
+    """Time one full Figure-5 profiling run."""
+    result = benchmark.pedantic(
+        run_figure5, args=(preset,), rounds=1, iterations=1
+    )
+    emit(render_figure5(result))
+    assert set(result.traces) == {"rr", "lbn"}
+    assert_figure5_shape(result)
+
+
+class TestFigure5Shape:
+    def test_traces_cover_every_problem(self, figure5, preset):
+        for mapper in ("rr", "lbn"):
+            assert len(figure5.traces[mapper]) == preset.n_problems
+
+    def test_traces_rise_then_drain(self, figure5):
+        for mapper in ("rr", "lbn"):
+            for trace in figure5.traces[mapper]:
+                assert trace.max() > 10  # real queue buildup
+                assert trace[-1] == 0  # fully drained
+
+    def test_lbn_unfolds_over_more_nodes(self, figure5):
+        # bottom-row heatmaps: LBN activates more of the mesh
+        assert figure5.active_nodes("lbn") > figure5.active_nodes("rr")
+
+    def test_lbn_spreads_activity_more_evenly(self, figure5):
+        rr_entropy = spatial_entropy(figure5.heatmaps["rr"].ravel())
+        lbn_entropy = spatial_entropy(figure5.heatmaps["lbn"].ravel())
+        assert lbn_entropy > rr_entropy
+
+    def test_lbn_executes_faster_on_this_machine(self, figure5):
+        # §V-E: "hence faster execution compared to round-robin"
+        assert figure5.mean_computation_time("lbn") < figure5.mean_computation_time(
+            "rr"
+        )
+
+    def test_rr_concentrates_near_trigger(self, figure5):
+        # RR's heatmap mass around the trigger corner (wrapping torus:
+        # the 4 corner-adjacent quadrant cells) exceeds LBN's
+        def corner_mass(grid):
+            n = grid.sum()
+            k = 3
+            wrapped = np.roll(np.roll(grid, k, axis=0), k, axis=1)
+            return wrapped[: 2 * k, : 2 * k].sum() / n
+
+        assert corner_mass(figure5.heatmaps["rr"]) > corner_mass(
+            figure5.heatmaps["lbn"]
+        )
+
+    def test_peak_queue_scale_matches_paper(self, figure5):
+        # paper Figure 5's y-axis peaks in the 50-250 range on this machine
+        for mapper in ("rr", "lbn"):
+            assert 30 <= figure5.peak_queued(mapper) <= 1500

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: run recursive applications on a simulated hyperspace machine.
+
+The five-layer stack hides message passing, scheduling and load balancing;
+an application is just a Python generator yielding Call / Sync / Result
+(paper Listing 3).  This script runs the paper's running example — the
+recursive sum — plus fork-join Fibonacci, and prints the profiling report
+the paper's evaluation is built from.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro import HyperspaceStack, Torus
+from repro.apps.fib import fib, sequential_fib
+from repro.apps.sumrec import calculate_sum
+from repro.recursion import Call, Result, Sync
+
+
+def main() -> None:
+    # an 8x8 torus machine with adaptive (least-busy-neighbour) mapping
+    stack = HyperspaceStack(Torus((8, 8)), mapper="lbn", seed=42)
+
+    # --- the paper's Listing 3: sum(1..n) ---------------------------------
+    result, report = stack.run_recursive(calculate_sum, 10)
+    print(f"sum(1..10) = {result}")
+    print(f"  computation time : {report.computation_time} steps")
+    print(f"  messages sent    : {report.sent_total}")
+
+    # --- fork-join Fibonacci ----------------------------------------------
+    n = 12
+    result, report = stack.run_recursive(fib, n)
+    assert result == sequential_fib(n)
+    print(f"\nfib({n}) = {result}")
+    print(f"  computation time : {report.computation_time} steps")
+    print(f"  active nodes     : {report.active_node_count} / 64")
+    stats = stack.last_run.engine_stats
+    print(f"  invocations      : {stats.invocations}")
+    print(f"  subcalls shipped : {stats.calls_made}")
+
+    # --- write your own in three lines -------------------------------------
+    def depth_of_tree(spec):
+        """Depth of a nested-tuple tree, computed across the mesh."""
+        if not isinstance(spec, tuple):
+            yield Result(0)
+        else:
+            for child in spec:
+                yield Call(child)
+            depths = yield Sync()
+            if len(spec) == 1:
+                depths = (depths,)
+            yield Result(1 + max(depths))
+
+    tree = ((1, (2, 3)), ((4,), 5), 6)
+    result, report = stack.run_recursive(depth_of_tree, tree)
+    print(f"\ndepth of {tree} = {result} "
+          f"({report.computation_time} steps on the mesh)")
+
+
+if __name__ == "__main__":
+    main()

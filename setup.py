@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has no `wheel` package and no network,
+so PEP 517 editable installs (which need bdist_wheel) fail. Plain
+`pip install -e .` falls back to `setup.py develop` via this file."""
+from setuptools import setup
+
+setup()

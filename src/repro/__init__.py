@@ -1,0 +1,72 @@
+"""repro — reproduction of "Programming Model to Develop Supercomputer
+Combinatorial Solvers" (Tarawneh et al., ICPP Workshops / P2S2 2017).
+
+The package implements the paper's five-layer abstraction stack on a
+simulated hyperspace machine:
+
+1. :mod:`repro.netsim`   — message passing (simulated backend, §IV-A)
+2. :mod:`repro.sched`    — node-level process scheduling
+3. :mod:`repro.mapping`  — ticketed destination-free sends + mesh load balancing
+4. :mod:`repro.recursion`— continuation-based fork-join recursion
+5. :mod:`repro.apps`     — applications (DPLL SAT solver, N-queens, …)
+
+plus :mod:`repro.topology` (tori / hypercubes / …), :mod:`repro.stack` (the
+assembled stack and its high-level ``run_recursive`` API) and
+:mod:`repro.bench` (the harness regenerating the paper's figures).
+
+Quickstart::
+
+    from repro import HyperspaceStack, Torus
+    from repro.apps.sumrec import calculate_sum
+
+    stack = HyperspaceStack(Torus((8, 8)))
+    result, report = stack.run_recursive(calculate_sum, 10)
+    assert result == 55
+"""
+
+from . import errors
+from .rng import SeedSequence
+from .topology import (
+    CompleteTree,
+    FullyConnected,
+    Grid,
+    Hypercube,
+    Line,
+    Ring,
+    Star,
+    Topology,
+    Torus,
+    topology_from_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "SeedSequence",
+    "Topology",
+    "Torus",
+    "Grid",
+    "Ring",
+    "Line",
+    "Hypercube",
+    "FullyConnected",
+    "Star",
+    "CompleteTree",
+    "topology_from_spec",
+    "HyperspaceStack",
+    "Machine",
+    "__version__",
+]
+
+
+def __getattr__(name):  # lazy imports to avoid import cycles at startup
+    if name == "HyperspaceStack":
+        from .stack import HyperspaceStack
+
+        return HyperspaceStack
+    if name == "Machine":
+        from .netsim import Machine
+
+        return Machine
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,130 @@
+"""Cross-run analysis utilities for scalability studies.
+
+The figure harness produces raw (cores, performance) series; this module
+extracts the quantities the paper reasons about in prose:
+
+* :func:`speedup_curve` — performance normalised to the smallest machine;
+* :func:`parallel_efficiency` — speedup divided by the core ratio;
+* :func:`saturation_point` — where a curve stops improving meaningfully;
+* :func:`crossover_point` — where one curve overtakes another (the
+  adaptive-vs-static crossover of Figure 4);
+* :func:`amdahl_fit` — least-squares fit of Amdahl's law, yielding the
+  implied serial fraction of the workload;
+* :func:`align_series` — resample two series onto common core counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "speedup_curve",
+    "parallel_efficiency",
+    "saturation_point",
+    "crossover_point",
+    "amdahl_fit",
+    "align_series",
+]
+
+#: a scalability series: ordered (cores, performance) points
+Series = Sequence[Tuple[int, float]]
+
+
+def _validate(series: Series) -> List[Tuple[int, float]]:
+    pts = [(int(n), float(p)) for n, p in series]
+    if not pts:
+        raise ValueError("empty series")
+    if any(n <= 0 for n, _ in pts):
+        raise ValueError("core counts must be positive")
+    if any(p < 0 for _, p in pts):
+        raise ValueError("performance must be non-negative")
+    if [n for n, _ in pts] != sorted({n for n, _ in pts}):
+        raise ValueError("series must be strictly increasing in cores")
+    return pts
+
+
+def speedup_curve(series: Series) -> List[Tuple[int, float]]:
+    """Performance relative to the smallest machine in the series."""
+    pts = _validate(series)
+    base = pts[0][1]
+    if base == 0:
+        raise ValueError("baseline performance is zero")
+    return [(n, p / base) for n, p in pts]
+
+
+def parallel_efficiency(series: Series) -> List[Tuple[int, float]]:
+    """Speedup divided by the core-count ratio (1.0 = perfect scaling)."""
+    pts = _validate(series)
+    base_n = pts[0][0]
+    return [(n, s / (n / base_n)) for (n, s) in speedup_curve(pts)]
+
+
+def saturation_point(series: Series, tolerance: float = 0.05) -> int:
+    """Smallest core count whose performance is within ``tolerance`` of the
+    series' best — i.e. where adding cores stops paying."""
+    pts = _validate(series)
+    best = max(p for _, p in pts)
+    if best == 0:
+        return pts[0][0]
+    for n, p in pts:
+        if p >= (1.0 - tolerance) * best:
+            return n
+    return pts[-1][0]  # pragma: no cover - unreachable (best is in pts)
+
+
+def align_series(a: Series, b: Series) -> List[Tuple[int, float, float]]:
+    """Join two series on common core counts: ``(cores, perf_a, perf_b)``."""
+    da = dict(_validate(a))
+    db = dict(_validate(b))
+    common = sorted(set(da) & set(db))
+    return [(n, da[n], db[n]) for n in common]
+
+
+def crossover_point(a: Series, b: Series) -> Optional[int]:
+    """First common core count at which curve ``a`` overtakes curve ``b``.
+
+    Returns ``None`` when ``a`` never overtakes ``b`` on the shared grid
+    (including when ``a`` already leads at the smallest shared machine —
+    a crossover requires ``b`` to lead somewhere first).
+    """
+    joined = align_series(a, b)
+    if not joined:
+        raise ValueError("series share no core counts")
+    b_has_led = False
+    for n, pa, pb in joined:
+        if pa > pb and b_has_led:
+            return n
+        if pb > pa:
+            b_has_led = True
+    return None
+
+
+def amdahl_fit(series: Series) -> Tuple[float, float]:
+    """Fit Amdahl's law ``speedup(n) = 1 / (s + (1-s)/n)``.
+
+    Returns ``(serial_fraction, rms_error)``.  Core counts are normalised
+    to the smallest machine (ratio ``r = n / n0``); the serial fraction is
+    estimated per point as ``s_i = (r/S - 1) / (r - 1)`` and averaged
+    (clamped to [0, 1]); single-machine series have no parallel signal and
+    are rejected.
+    """
+    pts = _validate(series)
+    speedups = speedup_curve(pts)
+    base_n = pts[0][0]
+    samples = [
+        (((n / base_n) / s) - 1.0) / ((n / base_n) - 1.0)
+        for n, s in speedups
+        if n > base_n and s > 0
+    ]
+    if not samples:
+        raise ValueError("need at least two distinct machine sizes")
+    serial = min(1.0, max(0.0, sum(samples) / len(samples)))
+
+    def predicted(n: int) -> float:
+        return 1.0 / (serial + (1.0 - serial) / (n / pts[0][0]))
+
+    err = math.sqrt(
+        sum((s - predicted(n)) ** 2 for n, s in speedups) / len(speedups)
+    )
+    return serial, err

@@ -1,0 +1,12 @@
+"""Layer 5 — applications built on the stack (paper §III-A5).
+
+* :mod:`repro.apps.traversal` — Listing 1 (layer-1 flood fill).
+* :mod:`repro.apps.sumrec`    — Listings 2 & 3 (the running sum example).
+* :mod:`repro.apps.fib`       — Cilk-style fork-join Fibonacci.
+* :mod:`repro.apps.sat`       — the DPLL SAT solver of §V (the paper's use
+  case) and its sequential/brute-force references.
+* :mod:`repro.apps.nqueens`   — N-queens via non-deterministic choice.
+* :mod:`repro.apps.knapsack`  — branch-and-bound knapsack with size hints.
+"""
+
+__all__ = ["traversal", "sumrec", "fib", "sat", "nqueens", "knapsack"]

@@ -1,0 +1,50 @@
+"""Fork-join Fibonacci — the canonical Cilk-style example (paper §IV-C).
+
+The paper builds its layer-4 mechanism around Cilk-like fork-join semantics;
+``fib`` is the standard demonstration of a *fixed fan-out* recursion, the
+workload class the paper's §III-B2 argues static mappers suit best (its
+"predictable unfolding behaviour").  Used by the mapper-ablation bench.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..recursion import Call, Result, Sync
+
+__all__ = ["fib", "fib_hinted", "sequential_fib"]
+
+
+@lru_cache(maxsize=None)
+def sequential_fib(n: int) -> int:
+    """Reference value of the n-th Fibonacci number (fib(0)=0, fib(1)=1)."""
+    if n < 0:
+        raise ValueError(f"fib is defined for n >= 0, got {n}")
+    return n if n < 2 else sequential_fib(n - 1) + sequential_fib(n - 2)
+
+
+def fib(n: int):
+    """Distributed ``fib``: two concurrent subcalls joined by one sync."""
+    if n < 2:
+        yield Result(n)
+    else:
+        yield Call(n - 1)
+        yield Call(n - 2)
+        a, b = yield Sync()
+        yield Result(a + b)
+
+
+def fib_hinted(n: int):
+    """``fib`` with cross-layer size hints (paper §III-B3).
+
+    The hint is the exponential size estimate ``phi**n`` of each subtree,
+    letting hint-aware mappers route heavier subcalls to quieter neighbours.
+    """
+    if n < 2:
+        yield Result(n)
+    else:
+        phi = 1.618
+        yield Call(n - 1, hint=phi ** (n - 1))
+        yield Call(n - 2, hint=phi ** (n - 2))
+        a, b = yield Sync()
+        yield Result(a + b)

@@ -1,0 +1,113 @@
+"""N-queens — a combinatorial search in the "computer chess" application
+class the paper's Figure 2 lists for layer 5.
+
+Queens are placed row by row; every invocation expands one row and explores
+all safe columns as concurrent subcalls under non-deterministic choice, so
+the first complete placement found anywhere in the mesh wins — structurally
+the same speculative search as the SAT solver, but with data-dependent
+fan-out (up to N subcalls per node instead of 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple, Optional, Tuple
+
+from ..errors import ApplicationError
+from ..recursion import Call, Choice, Result, Sync
+
+__all__ = [
+    "QueensProblem",
+    "found",
+    "nqueens",
+    "sequential_nqueens",
+    "count_solutions",
+    "is_valid_placement",
+]
+
+
+class QueensProblem(NamedTuple):
+    """Sub-problem: board size and queens placed so far (one per row)."""
+
+    n: int
+    placement: Tuple[int, ...] = ()
+
+
+def _safe(placement: Tuple[int, ...], col: int) -> bool:
+    """Can a queen go in the next row at ``col``?"""
+    row = len(placement)
+    for r, c in enumerate(placement):
+        if c == col or abs(c - col) == row - r:
+            return False
+    return True
+
+
+def is_valid_placement(n: int, placement: Tuple[int, ...]) -> bool:
+    """Full validity check for a claimed solution."""
+    if len(placement) != n or not all(0 <= c < n for c in placement):
+        return False
+    return all(_safe(placement[:r], placement[r]) for r in range(n))
+
+
+def found(result: Any) -> bool:
+    """Choice predicate: a placement tuple means success."""
+    return result is not None
+
+
+def nqueens(problem: "QueensProblem | int"):
+    """Layer-5 N-queens: one row per invocation, choice over safe columns."""
+    if isinstance(problem, int):
+        problem = QueensProblem(problem)
+    n, placement = problem.n, problem.placement
+    if n < 1:
+        raise ApplicationError(f"board size must be >= 1, got {n}")
+    row = len(placement)
+    if row == n:
+        yield Result(placement)
+        return
+    candidates = [c for c in range(n) if _safe(placement, c)]
+    if not candidates:
+        yield Result(None)
+        return
+    # remaining rows is a crude size hint for hint-aware mappers
+    hint = float(n - row)
+    yield Choice(
+        found,
+        *[Call(QueensProblem(n, placement + (c,)), hint=hint) for c in candidates],
+    )
+    result = yield Sync()
+    yield Result(result)
+
+
+def sequential_nqueens(n: int) -> Optional[Tuple[int, ...]]:
+    """First solution by sequential backtracking (reference)."""
+    if n < 1:
+        raise ApplicationError(f"board size must be >= 1, got {n}")
+
+    def search(placement: Tuple[int, ...]) -> Optional[Tuple[int, ...]]:
+        if len(placement) == n:
+            return placement
+        for col in range(n):
+            if _safe(placement, col):
+                sol = search(placement + (col,))
+                if sol is not None:
+                    return sol
+        return None
+
+    return search(())
+
+
+def count_solutions(n: int) -> int:
+    """Total number of solutions (reference; OEIS A000170)."""
+    if n < 1:
+        raise ApplicationError(f"board size must be >= 1, got {n}")
+    count = 0
+    stack: List[Tuple[int, ...]] = [()]
+    while stack:
+        placement = stack.pop()
+        if len(placement) == n:
+            count += 1
+            continue
+        for col in range(n):
+            if _safe(placement, col):
+                stack.append(placement + (col,))
+    return count

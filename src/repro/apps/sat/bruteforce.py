@@ -1,0 +1,51 @@
+"""Exhaustive SAT reference for cross-checking the solvers.
+
+Enumerates all ``2**n`` assignments — only usable for small ``n`` but
+unimpeachably correct, which is what the property-based tests need to
+validate DPLL (sequential and distributed) against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ...errors import ApplicationError
+from .cnf import CNF
+
+__all__ = ["brute_force_solve", "brute_force_count", "all_models"]
+
+#: refuse to enumerate beyond this many variables
+MAX_BRUTE_VARS = 24
+
+
+def _assignments(num_vars: int) -> Iterator[Dict[int, bool]]:
+    for bits in range(1 << num_vars):
+        yield {v: bool((bits >> (v - 1)) & 1) for v in range(1, num_vars + 1)}
+
+
+def _check_size(cnf: CNF) -> None:
+    if cnf.num_vars > MAX_BRUTE_VARS:
+        raise ApplicationError(
+            f"brute force limited to {MAX_BRUTE_VARS} variables, got {cnf.num_vars}"
+        )
+
+
+def brute_force_solve(cnf: CNF) -> Optional[Dict[int, bool]]:
+    """A satisfying total assignment, or ``None`` when unsatisfiable."""
+    _check_size(cnf)
+    for assignment in _assignments(cnf.num_vars):
+        if cnf.is_satisfied_by(assignment):
+            return assignment
+    return None
+
+
+def brute_force_count(cnf: CNF) -> int:
+    """Number of satisfying total assignments (#SAT)."""
+    _check_size(cnf)
+    return sum(1 for a in _assignments(cnf.num_vars) if cnf.is_satisfied_by(a))
+
+
+def all_models(cnf: CNF) -> List[Dict[int, bool]]:
+    """Every satisfying total assignment (small formulas only)."""
+    _check_size(cnf)
+    return [a for a in _assignments(cnf.num_vars) if cnf.is_satisfied_by(a)]

@@ -1,0 +1,63 @@
+"""Paper Listing 1: the message-passing node-traversal algorithm.
+
+The simplest possible layer-1 application — a mesh flood fill — used by the
+paper to introduce the backend's ``init`` / ``receive`` programming model.
+Useful here as a topology-connectivity checker and a layer-1 test workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..netsim import EMPTY_MSG, FunctionalProgram, Machine
+from ..topology import NodeId, Topology
+
+__all__ = ["traversal_program", "run_traversal", "visited_nodes"]
+
+
+def traversal_program() -> FunctionalProgram:
+    """Build Listing 1 as a layer-1 program::
+
+        function init(node):
+            state <- {visited: False}
+            return state
+
+        function receive(node, state, sender, msg, send, neighbours):
+            if state[visited] = False then
+                state[visited] <- True
+                foreach n in neighbours do
+                    send(n, EMPTY_MSG)
+    """
+
+    def init(node: NodeId) -> Dict[str, bool]:
+        return {"visited": False}
+
+    def receive(
+        node: NodeId,
+        state: Dict[str, bool],
+        sender: NodeId,
+        msg: Any,
+        send,
+        neighbours: Sequence[NodeId],
+    ) -> None:
+        if not state["visited"]:
+            state["visited"] = True
+            for n in neighbours:
+                send(n, EMPTY_MSG)
+
+    return FunctionalProgram(init, receive)
+
+
+def run_traversal(topology: Topology, start: NodeId = 0, max_steps: int = 1_000_000):
+    """Flood-fill ``topology`` from ``start``; return ``(machine, report)``."""
+    machine = Machine(topology, traversal_program())
+    machine.inject(start, EMPTY_MSG)
+    report = machine.run(max_steps=max_steps)
+    return machine, report
+
+
+def visited_nodes(machine: Machine) -> List[NodeId]:
+    """Nodes marked visited after a traversal run."""
+    return [
+        n for n in machine.topology.nodes() if machine.state_of(n)["visited"]
+    ]

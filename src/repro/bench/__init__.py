@@ -1,0 +1,52 @@
+"""Benchmark harness regenerating the paper's evaluation artefacts.
+
+* :mod:`repro.bench.figure4` — SAT solver scalability (paper Figure 4).
+* :mod:`repro.bench.figure5` — temporal/spatial unfolding (paper Figure 5).
+* :mod:`repro.bench.suites`  — shared workloads and machine grids.
+* :mod:`repro.bench.report`  — ASCII tables / sparklines / heatmaps.
+
+The pytest-benchmark entry points live in ``benchmarks/`` at the repository
+root; they call into this package.
+"""
+
+from .figure4 import (
+    Figure4Point,
+    Figure4Result,
+    assert_figure4_shape,
+    render_figure4,
+    run_figure4,
+)
+from .figure5 import Figure5Result, assert_figure5_shape, render_figure5, run_figure5
+from .report import format_series_block, format_table, heatmap_ascii, sparkline
+from .suites import (
+    FIGURE5_TORUS_DIMS,
+    FULL,
+    QUICK,
+    BenchPreset,
+    figure4_series,
+    mesh_for,
+    sat_suite,
+)
+
+__all__ = [
+    "run_figure4",
+    "render_figure4",
+    "assert_figure4_shape",
+    "assert_figure5_shape",
+    "Figure4Result",
+    "Figure4Point",
+    "run_figure5",
+    "render_figure5",
+    "Figure5Result",
+    "BenchPreset",
+    "QUICK",
+    "FULL",
+    "sat_suite",
+    "mesh_for",
+    "figure4_series",
+    "FIGURE5_TORUS_DIMS",
+    "format_table",
+    "format_series_block",
+    "sparkline",
+    "heatmap_ascii",
+]

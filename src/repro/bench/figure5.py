@@ -1,0 +1,151 @@
+"""Figure 5 regeneration: temporal and spatial unfolding of SAT problems.
+
+The paper's Figure 5 profiles the solver on a 196-core 2D torus:
+
+* **top row** — superimposed interconnect-activity traces (total queued
+  messages vs simulation step) for every benchmark problem, round-robin
+  vs least-busy-neighbour;
+* **bottom row** — heatmaps of total messages delivered per node across the
+  14x14 mesh for one problem, per mapper.
+
+:func:`run_figure5` collects both; :func:`render_figure5` prints sparkline
+traces and digit heatmaps.  The qualitative claims (§V-E, asserted by the
+benchmark): LBN drains queues faster and unfolds over more of the mesh
+(higher spatial entropy / more active nodes) than RR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..apps.sat import solve_on_machine
+from ..topology import Torus
+from .report import format_series_block, format_table, heatmap_ascii
+from .suites import FIGURE5_TORUS_DIMS, BenchPreset, QUICK, sat_suite
+
+__all__ = ["Figure5Result", "run_figure5", "render_figure5"]
+
+#: the two mappers Figure 5 contrasts
+FIGURE5_MAPPERS = ("rr", "lbn")
+MAPPER_TITLES = {"rr": "Round Robin", "lbn": "Least Busy Neighbour"}
+
+
+class Figure5Result:
+    """Traces and heatmaps for both mappers."""
+
+    def __init__(
+        self,
+        preset: BenchPreset,
+        traces: Dict[str, List[np.ndarray]],
+        heatmaps: Dict[str, np.ndarray],
+        computation_times: Dict[str, List[int]],
+    ) -> None:
+        self.preset = preset
+        #: mapper -> one queued-messages series per problem (top row)
+        self.traces = traces
+        #: mapper -> 14x14 delivered-messages grid for problem 0 (bottom row)
+        self.heatmaps = heatmaps
+        #: mapper -> computation time per problem
+        self.computation_times = computation_times
+
+    def peak_queued(self, mapper: str) -> int:
+        """Highest queue population over all problems for one mapper."""
+        return int(max(t.max() for t in self.traces[mapper]))
+
+    def mean_computation_time(self, mapper: str) -> float:
+        """Average computation time across problems."""
+        cts = self.computation_times[mapper]
+        return sum(cts) / len(cts)
+
+    def active_nodes(self, mapper: str) -> int:
+        """Nodes that received any message (problem 0 heatmap)."""
+        return int((self.heatmaps[mapper] > 0).sum())
+
+
+def run_figure5(
+    preset: BenchPreset = QUICK,
+    *,
+    status_threshold: Optional[int] = 16,
+    simplify: str = "none",
+    heuristic: str = "max_occurrence",
+) -> Figure5Result:
+    """Profile the benchmark suite on the 196-core 2D torus of Figure 5."""
+    problems = sat_suite(preset)
+    topo_dims = FIGURE5_TORUS_DIMS
+    traces: Dict[str, List[np.ndarray]] = {m: [] for m in FIGURE5_MAPPERS}
+    heatmaps: Dict[str, np.ndarray] = {}
+    cts: Dict[str, List[int]] = {m: [] for m in FIGURE5_MAPPERS}
+    for mapper in FIGURE5_MAPPERS:
+        status = status_threshold if mapper == "lbn" else None
+        for i, cnf in enumerate(problems):
+            res = solve_on_machine(
+                cnf,
+                Torus(topo_dims),
+                mapper=mapper,
+                status=status,
+                heuristic=heuristic,
+                simplify=simplify,
+                seed=preset.seed + i,
+                max_steps=preset.max_steps,
+            )
+            traces[mapper].append(res.report.interconnect_activity)
+            cts[mapper].append(res.report.computation_time)
+            if i == 0:
+                heatmaps[mapper] = res.report.heatmap()
+    return Figure5Result(preset, traces, heatmaps, cts)
+
+
+def assert_figure5_shape(result: Figure5Result) -> None:
+    """Assert §V-E's qualitative Figure-5 claims on regenerated data."""
+    from ..netsim import spatial_entropy
+
+    for mapper in FIGURE5_MAPPERS:
+        for trace in result.traces[mapper]:
+            assert trace.max() > 10, f"{mapper}: no real queue buildup"
+            assert trace[-1] == 0, f"{mapper}: machine did not drain"
+    assert result.active_nodes("lbn") > result.active_nodes("rr"), (
+        "LBN did not unfold over more of the mesh than RR"
+    )
+    assert spatial_entropy(result.heatmaps["lbn"].ravel()) > spatial_entropy(
+        result.heatmaps["rr"].ravel()
+    ), "LBN's activity is not spread more evenly than RR's"
+    assert result.mean_computation_time("lbn") < result.mean_computation_time(
+        "rr"
+    ), "LBN was not faster than RR on the 196-core torus"
+
+
+def render_figure5(result: Figure5Result) -> str:
+    """Print Figure 5: traces as sparklines, heatmaps as digit grids."""
+    blocks: List[str] = [
+        "Figure 5 — temporal and spatial unfolding "
+        f"(196-core 2D torus, {result.preset.n_problems} problems)"
+    ]
+    for mapper in FIGURE5_MAPPERS:
+        title = MAPPER_TITLES[mapper]
+        series = {
+            f"problem {i}": t for i, t in enumerate(result.traces[mapper])
+        }
+        blocks.append(f"\n[{title}] queued messages vs step (superimposed traces)")
+        blocks.append(format_series_block(series))
+        blocks.append(f"\n[{title}] node activity heatmap (problem 0)")
+        blocks.append(heatmap_ascii(result.heatmaps[mapper]))
+    rows = []
+    for mapper in FIGURE5_MAPPERS:
+        rows.append(
+            [
+                MAPPER_TITLES[mapper],
+                round(result.mean_computation_time(mapper), 1),
+                result.peak_queued(mapper),
+                result.active_nodes(mapper),
+            ]
+        )
+    blocks.append("")
+    blocks.append(
+        format_table(
+            ["mapper", "mean computation time", "peak queued", "active nodes"],
+            rows,
+        )
+    )
+    return "\n".join(blocks)

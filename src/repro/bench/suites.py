@@ -1,0 +1,93 @@
+"""Benchmark workload suites and machine sweeps.
+
+Centralises the workload/machine grids the figure benches share, so the
+"quick" (CI-sized) and "full" (paper-sized) variants stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..apps.sat import CNF, uf20_91_suite
+from ..topology import FullyConnected, Topology, Torus, nearest_mesh_dims
+
+__all__ = [
+    "BenchPreset",
+    "QUICK",
+    "FULL",
+    "sat_suite",
+    "mesh_for",
+    "figure4_series",
+    "FIGURE5_TORUS_DIMS",
+]
+
+
+class BenchPreset:
+    """Scale knobs for a figure regeneration run."""
+
+    __slots__ = ("name", "n_problems", "core_counts", "seed", "max_steps")
+
+    def __init__(
+        self,
+        name: str,
+        n_problems: int,
+        core_counts: Tuple[int, ...],
+        seed: int = 2017,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        self.name = name
+        self.n_problems = n_problems
+        self.core_counts = core_counts
+        self.seed = seed
+        self.max_steps = max_steps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BenchPreset({self.name}, problems={self.n_problems})"
+
+
+#: CI-sized preset: 6 problems, 5 machine sizes (tens of seconds)
+QUICK = BenchPreset("quick", 6, (9, 27, 64, 196, 512))
+
+#: paper-sized preset: 20 problems, 10^1..10^3 cores as in Figure 4
+FULL = BenchPreset("full", 20, (9, 16, 27, 64, 125, 196, 343, 512, 729, 1000))
+
+
+def sat_suite(preset: BenchPreset) -> List[CNF]:
+    """The uf20-91 stand-in suite at the preset's problem count."""
+    return uf20_91_suite(preset.n_problems, seed=preset.seed)
+
+
+def mesh_for(kind: str, n_cores: int) -> Topology:
+    """The machine used for one Figure-4 data point.
+
+    ``kind``: ``"torus2d"`` / ``"torus3d"`` (nearest square/cube of the
+    requested size) or ``"full"``.
+    """
+    if kind == "torus2d":
+        return Torus(nearest_mesh_dims(n_cores, 2))
+    if kind == "torus3d":
+        return Torus(nearest_mesh_dims(n_cores, 3))
+    if kind == "full":
+        return FullyConnected(n_cores)
+    raise ValueError(f"unknown machine kind {kind!r}")
+
+
+def figure4_series() -> List[Tuple[str, str, str]]:
+    """The five curves of Figure 4 as ``(label, machine kind, mapper)``.
+
+    The fully connected baseline uses the ``random`` mapper: on a complete
+    graph a deterministic circular order degenerates into a pipeline along
+    node indices, while destination-free uniform spreading is the ideal the
+    paper's baseline represents (see DESIGN.md).
+    """
+    return [
+        ("2D Torus + RR", "torus2d", "rr"),
+        ("3D Torus + RR", "torus3d", "rr"),
+        ("2D Torus + LBN", "torus2d", "lbn"),
+        ("3D Torus + LBN", "torus3d", "lbn"),
+        ("Fully connected", "full", "random"),
+    ]
+
+
+#: Figure 5's machine: "a 196-core 2D torus machine"
+FIGURE5_TORUS_DIMS = (14, 14)

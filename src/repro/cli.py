@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     solve a DIMACS CNF file (or a generated instance) on a
+              simulated machine and print the verdict, model and profile;
+``generate``  write uf20-91-style DIMACS benchmark files;
+``topo``      describe a topology spec (nodes, links, diameter, ...);
+``figure4``   regenerate the paper's Figure 4 scalability table;
+``figure5``   regenerate the paper's Figure 5 traces and heatmaps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Hyperspace-computer combinatorial solver stack "
+            "(reproduction of Tarawneh et al., ICPP Workshops 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve a SAT problem on a simulated machine")
+    solve.add_argument("cnf", nargs="?", help="DIMACS file (default: generated uf20-91)")
+    solve.add_argument("--topology", default="torus2d:14x14", help="machine spec")
+    solve.add_argument("--mapper", default="lbn", choices=["rr", "lbn", "random", "hint"])
+    solve.add_argument("--status", type=int, default=None, help="LBN status threshold")
+    solve.add_argument("--heuristic", default="max_occurrence")
+    solve.add_argument("--simplify", default="none", choices=["none", "single", "fixpoint"])
+    solve.add_argument("--seed", type=int, default=2017)
+    solve.add_argument("--quiet", action="store_true", help="verdict only")
+
+    gen = sub.add_parser("generate", help="write random 3-SAT benchmark files")
+    gen.add_argument("out_dir", help="output directory")
+    gen.add_argument("--count", type=int, default=20)
+    gen.add_argument("--vars", type=int, default=20)
+    gen.add_argument("--clauses", type=int, default=91)
+    gen.add_argument("--seed", type=int, default=2017)
+    gen.add_argument("--planted", action="store_true",
+                     help="planted-solution instances (faster for large sweeps)")
+
+    topo = sub.add_parser("topo", help="describe a topology spec")
+    topo.add_argument("spec", help='e.g. "torus2d:14x14", "hypercube:6"')
+
+    fig4 = sub.add_parser("figure4", help="regenerate paper Figure 4")
+    fig4.add_argument("--preset", default="quick", choices=["quick", "full"])
+    fig4.add_argument("--status", type=int, default=16)
+
+    fig5 = sub.add_parser("figure5", help="regenerate paper Figure 5")
+    fig5.add_argument("--preset", default="quick", choices=["quick", "full"])
+
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    from .apps.sat import dpll_solve, load_dimacs, solve_on_machine, uf20_91_suite
+    from .bench import heatmap_ascii, sparkline
+    from .topology import topology_from_spec
+
+    if args.cnf:
+        cnf = load_dimacs(args.cnf)
+    else:
+        cnf = uf20_91_suite(1, seed=args.seed)[0]
+    topo = topology_from_spec(args.topology)
+    res = solve_on_machine(
+        cnf,
+        topo,
+        mapper=args.mapper,
+        status=args.status,
+        heuristic=args.heuristic,
+        simplify=args.simplify,
+        seed=args.seed,
+    )
+    seq = dpll_solve(cnf)
+    if res.satisfiable != seq.satisfiable:
+        print("ERROR: distributed and sequential solvers disagree", file=sys.stderr)
+        return 2
+    if res.satisfiable:
+        model = dict(sorted(res.assignment.items()))
+        lits = " ".join(str(v if val else -v) for v, val in model.items())
+        print(f"s SATISFIABLE\nv {lits} 0")
+    else:
+        print("s UNSATISFIABLE")
+    if not args.quiet:
+        rep = res.report
+        print(f"c machine            {topo.describe()} ({args.mapper})")
+        print(f"c computation time   {rep.computation_time} steps")
+        print(f"c messages           {rep.sent_total}")
+        print(f"c peak queued        {rep.peak_queued}")
+        print(f"c active nodes       {rep.active_node_count}/{topo.n_nodes}")
+        print(f"c activity |{sparkline(rep.interconnect_activity, 50)}|")
+        if len(topo.shape) in (2, 3):
+            print("c node activity heatmap:")
+            for line in heatmap_ascii(rep.heatmap()).splitlines():
+                print(f"c   {line}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .apps.sat import save_dimacs, uf20_91_suite
+    from .apps.sat.generator import planted_random_ksat, satisfiable_random_ksat
+    from .rng import SeedSequence
+
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    seeds = SeedSequence(args.seed)
+    gen = planted_random_ksat if args.planted else satisfiable_random_ksat
+    for i, rng in enumerate(seeds.indexed("cli-generate", args.count)):
+        cnf = gen(args.vars, args.clauses, 3, rng)
+        path = out / f"uf{args.vars}-{args.clauses}-{i:03d}.cnf"
+        save_dimacs(
+            cnf,
+            path,
+            comments=[
+                f"uniform random 3-SAT, {args.vars} vars, {args.clauses} clauses",
+                f"seed={args.seed} index={i} satisfiable=yes",
+            ],
+        )
+        print(path)
+    return 0
+
+
+def _cmd_topo(args) -> int:
+    from .topology import topology_from_spec
+
+    topo = topology_from_spec(args.spec)
+    degrees = [topo.degree(n) for n in topo.nodes()]
+    print(f"topology   {topo.describe()}")
+    print(f"nodes      {topo.n_nodes}")
+    print(f"links      {topo.n_links()}")
+    print(f"degree     min {min(degrees)} / max {max(degrees)}")
+    print(f"diameter   {topo.diameter()}")
+    print(f"symmetric  {'yes' if topo.is_node_symmetric() else 'no'}")
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    from .bench import FULL, QUICK, assert_figure4_shape, render_figure4, run_figure4
+
+    preset = FULL if args.preset == "full" else QUICK
+    result = run_figure4(preset, status_threshold=args.status, verbose=True)
+    print(render_figure4(result))
+    assert_figure4_shape(result)
+    print("\nall Figure-4 qualitative claims hold")
+    return 0
+
+
+def _cmd_figure5(args) -> int:
+    from .bench import FULL, QUICK, assert_figure5_shape, render_figure5, run_figure5
+
+    preset = FULL if args.preset == "full" else QUICK
+    result = run_figure5(preset)
+    print(render_figure5(result))
+    assert_figure5_shape(result)
+    print("\nall Figure-5 qualitative claims hold")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "generate": _cmd_generate,
+        "topo": _cmd_topo,
+        "figure4": _cmd_figure4,
+        "figure5": _cmd_figure5,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

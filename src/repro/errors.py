@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the stack may raise with a single ``except`` clause while
+still being able to discriminate by layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology construction or node/coordinate out of range."""
+
+
+class SimulationError(ReproError):
+    """Layer 1: illegal operation in the message-passing backend."""
+
+
+class AdjacencyError(SimulationError):
+    """Layer 1: attempted to send a message to a non-neighbour node."""
+
+
+class QueueOverflowError(SimulationError):
+    """Layer 1: a finite-capacity inbox overflowed."""
+
+
+class SchedulingError(ReproError):
+    """Layer 2: process registration or delivery failure."""
+
+
+class MappingError(ReproError):
+    """Layer 3: ticket misuse or mapper failure."""
+
+
+class UnknownTicketError(MappingError):
+    """Layer 3: a reply quoted a ticket this node never issued."""
+
+
+class RecursionLayerError(ReproError):
+    """Layer 4: protocol violation by a recursive application."""
+
+
+class ProtocolError(RecursionLayerError):
+    """Layer 4: the application generator yielded an unsupported object."""
+
+
+class ApplicationError(ReproError):
+    """Layer 5: error raised by / about an application."""
+
+
+class DimacsFormatError(ApplicationError):
+    """Malformed DIMACS CNF input."""

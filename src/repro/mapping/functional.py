@@ -1,0 +1,92 @@
+"""Paper-style functional adapter for layer-3 applications (Listing 2).
+
+The paper expresses layer-3 programs as a single ``receive`` handler::
+
+    function receive(state, ticket, msg, send):
+        ...
+
+where ``send(msg)`` delegates a sub-problem (returning a fresh ticket) and
+``send(msg, ticket)`` replies to incoming work.  :class:`TicketedFunctionalApp`
+adapts exactly that signature onto the :class:`~repro.mapping.service.MappedApp`
+protocol so Listing 2 can be transcribed verbatim — see
+:mod:`repro.apps.sumrec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .service import MappingContext
+from .tickets import ReplyHandle, Ticket
+
+__all__ = ["TicketedFunctionalApp", "TicketedSend"]
+
+#: ``send(msg)`` -> Ticket (delegate) / ``send(msg, ticket)`` -> None (reply)
+TicketedSend = Callable[..., Optional[Ticket]]
+
+
+class TicketedFunctionalApp:
+    """Host a paper-style ``receive(state, ticket, msg, send)`` handler.
+
+    The handler is called with:
+
+    * ``ticket`` — a :class:`ReplyHandle` for incoming work, the issued
+      :class:`Ticket` for incoming replies, or ``None`` for triggers;
+    * ``send`` — the dual-purpose send described in the module docstring
+      (replying with ``ticket=None``, i.e. to a trigger, surfaces the value
+      as an external result).
+
+    A non-``None`` return value replaces the node state, mirroring the
+    functional style of the paper's listings.
+    """
+
+    def __init__(
+        self,
+        receive: Callable[[Any, Any, Any, TicketedSend], Any],
+        init_state: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        self._receive = receive
+        self._init_state = init_state
+
+    # -- MappedApp protocol ----------------------------------------------
+
+    def init(self, mctx: MappingContext) -> None:
+        mctx.state = self._init_state() if self._init_state is not None else None
+
+    def _dispatch(self, mctx: MappingContext, ticket: Any, msg: Any) -> None:
+        def send(payload: Any, reply_to: Any = _NO_TICKET) -> Optional[Ticket]:
+            if reply_to is _NO_TICKET:
+                return mctx.call(payload)
+            mctx.reply(reply_to, payload)
+            return None
+
+        new_state = self._receive(mctx.state, ticket, msg, send)
+        if new_state is not None:
+            mctx.state = new_state
+
+    def on_work(
+        self,
+        mctx: MappingContext,
+        reply: Optional[ReplyHandle],
+        payload: Any,
+        hint: Optional[float],
+    ) -> None:
+        self._dispatch(mctx, reply, payload)
+
+    def on_reply(self, mctx: MappingContext, ticket: Ticket, payload: Any) -> None:
+        self._dispatch(mctx, ticket, payload)
+
+    def on_cancel(self, mctx: MappingContext, ticket: Ticket) -> None:
+        return None  # paper-style apps do not observe cancellations
+
+
+class _NoTicket:
+    """Sentinel distinguishing 'no ticket passed' from 'reply to trigger'."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<no-ticket>"
+
+
+_NO_TICKET = _NoTicket()

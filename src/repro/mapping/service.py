@@ -1,0 +1,435 @@
+"""Layer 3: the mapping service (paper §III-A3, §IV-B).
+
+:class:`MappingService` is a layer-2 :class:`~repro.sched.Process` template
+hosted (at the same pid) on every node.  It gives the layer above a
+destination-free message interface:
+
+* ``mctx.call(payload)`` — "request that a message be delivered without
+  specifying its destination"; the mapper picks a neighbour and a fresh
+  :class:`~repro.mapping.tickets.Ticket` is returned;
+* ``mctx.reply(handle, payload)`` — answer incoming work, quoting its ticket;
+* incoming work and replies are delivered to the hosted
+  :class:`MappedApp`'s ``on_work`` / ``on_reply`` handlers.
+
+The service also runs the activity-estimation machinery: every outgoing
+envelope piggybacks this node's received count, incoming envelopes update the
+per-neighbour record, and an optional
+:class:`~repro.mapping.status.StatusPolicy` broadcasts explicit updates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from ..errors import MappingError, UnknownTicketError
+from ..rng import SeedSequence
+from ..sched import Address, ProcessContext
+from ..topology import NodeId
+from .envelopes import CancelMsg, ReplyMsg, StatusMsg, WorkMsg
+from .mappers import Mapper, MapperFactory, MapperView
+from .status import NoStatusPolicy, StatusPolicy, StatusPolicyFactory
+from .tickets import ReplyHandle, Ticket
+
+__all__ = ["MappedApp", "MappingContext", "MappingService", "queue_depth_load"]
+
+
+def queue_depth_load(pctx: ProcessContext, app_state: Any) -> int:
+    """Work-sharing load probe: this node's current inbox backlog.
+
+    In the one-message-per-step machine the inbox depth *is* the node's
+    service backlog, which makes it the natural pressure signal for work
+    sharing (live-invocation counts overstate load: suspended invocations
+    cost nothing until their replies arrive).
+    """
+    return pctx.machine.queue_depth_of(pctx.node)
+
+
+class MappedApp(Protocol):
+    """The layer-3 programming model: ticketed message handlers.
+
+    "Similar to layer 2, it allows upper layers to run applications expressed
+    as message handling routines.  However, it prevents communication between
+    arbitrary nodes" (paper §III-A3).
+    """
+
+    def init(self, mctx: "MappingContext") -> None:
+        """Initialise per-node application state (``mctx.state``)."""
+        ...
+
+    def on_work(
+        self,
+        mctx: "MappingContext",
+        reply: Optional[ReplyHandle],
+        payload: Any,
+        hint: Optional[float],
+    ) -> None:
+        """Handle an incoming sub-problem.
+
+        ``reply`` is the handle to quote when answering, or ``None`` when the
+        payload was injected from outside the machine (a trigger) — answers
+        to triggers surface through ``mctx.reply(None, value)`` as external
+        results.
+        """
+        ...
+
+    def on_reply(self, mctx: "MappingContext", ticket: Ticket, payload: Any) -> None:
+        """Handle the result of a sub-problem this node delegated."""
+        ...
+
+    def on_cancel(self, mctx: "MappingContext", ticket: Ticket) -> None:
+        """Handle cancellation of work this node is executing (optional)."""
+        ...
+
+
+class _MapState:
+    """Per-node mapping-service state (the process-context state slot)."""
+
+    __slots__ = (
+        "view",
+        "mapper",
+        "status",
+        "mctx",
+        "app_state",
+        "next_seq",
+        "forward_table",
+        "results",
+    )
+
+    def __init__(self, view: MapperView, mapper: Mapper, status: StatusPolicy):
+        self.view = view
+        self.mapper = mapper
+        self.status = status
+        self.mctx: Optional[MappingContext] = None
+        self.app_state: Any = None
+        self.next_seq = 0
+        #: ticket -> next hop, for routing cancellations along work paths
+        self.forward_table: Dict[Ticket, NodeId] = {}
+        #: results of externally triggered (root) work
+        self.results: List[Any] = []
+
+
+class MappingContext:
+    """Layer-3 API handed to :class:`MappedApp` handlers."""
+
+    __slots__ = ("_service", "_pctx", "_mstate")
+
+    def __init__(
+        self, service: "MappingService", pctx: ProcessContext, mstate: _MapState
+    ) -> None:
+        self._service = service
+        self._pctx = pctx
+        self._mstate = mstate
+
+    # -- identity / environment ---------------------------------------
+
+    @property
+    def node(self) -> NodeId:
+        """This node's id (for diagnostics; not usable as a destination)."""
+        return self._pctx.node
+
+    @property
+    def n_neighbours(self) -> int:
+        """Degree of this node (applications may tune fan-out to it)."""
+        return len(self._pctx.neighbours)
+
+    @property
+    def step(self) -> int:
+        """Current simulation step."""
+        return self._pctx.step
+
+    @property
+    def rng(self) -> random.Random:
+        """Per-node seeded random stream."""
+        return self._mstate.view.rng
+
+    @property
+    def state(self) -> Any:
+        """Application state slot."""
+        return self._mstate.app_state
+
+    @state.setter
+    def state(self, value: Any) -> None:
+        self._mstate.app_state = value
+
+    @property
+    def results(self) -> List[Any]:
+        """Results delivered for externally triggered work on this node."""
+        return self._mstate.results
+
+    # -- the ticketed send interface ------------------------------------
+
+    def call(self, payload: Any, hint: Optional[float] = None) -> Ticket:
+        """Delegate a sub-problem; destination chosen by the mapper.
+
+        Returns the ticket identifying the eventual reply.  ``hint`` is the
+        optional cross-layer estimate of sub-problem size (§III-B3).
+        """
+        st = self._mstate
+        view = st.view
+        ticket = Ticket(self.node, st.next_seq)
+        st.next_seq += 1
+        dst = st.mapper.choose(view, hint)
+        if dst not in self._pctx.neighbours:
+            raise MappingError(
+                f"mapper chose {dst}, not a neighbour of node {self.node}"
+            )
+        st.mapper.on_sent(view, dst, hint)
+        st.forward_table[ticket] = dst
+        msg = WorkMsg(
+            ticket,
+            payload,
+            hint,
+            path=(self.node,),
+            hops_left=self._service.forward_hops,
+            sender_count=view.received_count,
+        )
+        self._pctx.send(Address(dst, self._pctx.pid), msg)
+        return ticket
+
+    def reply(self, handle: Optional[ReplyHandle], payload: Any) -> None:
+        """Answer incoming work (or deliver an external result).
+
+        ``handle`` must be the :class:`ReplyHandle` the work arrived with;
+        ``None`` marks the answer to an external trigger, which is appended
+        to this node's ``results`` (and halts the machine when the service
+        was configured with ``halt_on_result``).
+        """
+        if handle is None:
+            self._mstate.results.append(payload)
+            if self._service.halt_on_result:
+                self._pctx.machine.halt()
+            return
+        route = handle.route
+        if not route:
+            raise MappingError(f"reply handle {handle!r} has an empty route")
+        msg = ReplyMsg(
+            handle.ticket, payload, route[1:], self._mstate.view.received_count
+        )
+        self._pctx.send(Address(route[0], self._pctx.pid), msg)
+
+    def cancel(self, ticket: Ticket) -> None:
+        """Cancel previously delegated work (extension; see §IV-C).
+
+        The cancellation follows the work's forwarding chain; if the work
+        already replied (the ticket is retired) this is a silent no-op.
+        """
+        dst = self._mstate.forward_table.get(ticket)
+        if dst is None:
+            return
+        msg = CancelMsg(ticket, self._mstate.view.received_count)
+        self._pctx.send(Address(dst, self._pctx.pid), msg)
+
+
+class MappingService:
+    """Layer-2 process template running layer 3 on every node.
+
+    Parameters
+    ----------
+    app:
+        The hosted :class:`MappedApp` (shared template; per-node state lives
+        in the context).
+    mapper_factory:
+        Builds one fresh :class:`~repro.mapping.mappers.Mapper` per node.
+    status_factory:
+        Builds one fresh status policy per node (default: piggyback only).
+    seed:
+        Master seed for per-node tie-breaking streams.
+    forward_hops:
+        Extra hops work travels before executing (0 = execute at the first
+        mapped neighbour, the paper's behaviour).
+    halt_on_result:
+        Stop the whole machine once any external (root) result is delivered
+        — how the solver stack terminates without draining speculative work.
+    share_threshold / load_fn / max_share_hops:
+        Work sharing (extension; paper Figure 2 lists "work
+        sharing/stealing" as a layer-3 mechanism): when incoming work
+        arrives at a node whose load — ``load_fn(pctx, app_state)`` — is
+        at least ``share_threshold``, the work is pushed onward to a
+        mapper-chosen neighbour instead of executing locally, up to
+        ``max_share_hops`` total detour hops per work item.  Disabled when
+        ``share_threshold`` or ``load_fn`` is ``None``.
+        :func:`queue_depth_load` (this node's inbox backlog) is the load
+        probe that measures actual pressure in the one-pop-per-step
+        machine; application-level probes like
+        :meth:`repro.recursion.RecursionEngine.load_probe` are also
+        accepted.
+    """
+
+    def __init__(
+        self,
+        app: MappedApp,
+        mapper_factory: MapperFactory,
+        status_factory: Optional[StatusPolicyFactory] = None,
+        seed: int = 0,
+        forward_hops: int = 0,
+        halt_on_result: bool = False,
+        share_threshold: Optional[int] = None,
+        load_fn: Optional[Callable[[Any], int]] = None,
+        max_share_hops: int = 4,
+    ) -> None:
+        if forward_hops < 0:
+            raise MappingError(f"forward_hops must be >= 0, got {forward_hops}")
+        if share_threshold is not None and share_threshold < 1:
+            raise MappingError(
+                f"share_threshold must be >= 1 or None, got {share_threshold}"
+            )
+        if max_share_hops < 1:
+            raise MappingError(f"max_share_hops must be >= 1, got {max_share_hops}")
+        if share_threshold is not None and load_fn is None:
+            raise MappingError("work sharing needs a load_fn to measure load")
+        self.app = app
+        self.mapper_factory = mapper_factory
+        self.status_factory = status_factory if status_factory is not None else NoStatusPolicy
+        self.seeds = SeedSequence(seed)
+        self.forward_hops = forward_hops
+        self.halt_on_result = halt_on_result
+        self.share_threshold = share_threshold
+        self.load_fn = load_fn
+        self.max_share_hops = max_share_hops
+
+    # -- layer-2 Process interface --------------------------------------
+
+    def init(self, pctx: ProcessContext) -> None:
+        view = MapperView(
+            pctx.node, pctx.neighbours, self.seeds.stream(f"mapper[{pctx.node}]")
+        )
+        mstate = _MapState(view, self.mapper_factory(), self.status_factory())
+        pctx.state = mstate
+        mstate.mctx = MappingContext(self, pctx, mstate)
+        self.app.init(mstate.mctx)
+
+    def on_message(
+        self, pctx: ProcessContext, sender: Optional[Address], payload: Any
+    ) -> None:
+        mstate: _MapState = pctx.state
+        view = mstate.view
+        # Only substantive traffic (work, replies, triggers) counts as
+        # activity.  Status and cancel envelopes are control overhead; were
+        # they counted, a status threshold at or below the node degree would
+        # make broadcasts self-sustaining (every status volley triggers the
+        # next one) and the machine would never go quiescent.
+        if not isinstance(payload, (StatusMsg, CancelMsg)):
+            view.received_count += 1
+        mctx = mstate.mctx
+        assert mctx is not None
+
+        if isinstance(payload, WorkMsg):
+            if sender is not None:
+                view.observe(sender.node, payload.sender_count)
+            if payload.hops_left > 0:
+                self._forward_work(pctx, mstate, payload)
+            elif self._should_share(pctx, mstate, payload):
+                # overloaded: push the work onward rather than execute it
+                self._forward_work(pctx, mstate, payload, consume_hop=False)
+            else:
+                handle = ReplyHandle(
+                    payload.ticket, tuple(reversed(payload.path))
+                )
+                self.app.on_work(mctx, handle, payload.payload, payload.hint)
+        elif isinstance(payload, ReplyMsg):
+            if sender is not None:
+                view.observe(sender.node, payload.sender_count)
+            if payload.route:
+                # relay toward the issuer; retire our forwarding-table entry
+                mstate.forward_table.pop(payload.ticket, None)
+                fwd = ReplyMsg(
+                    payload.ticket,
+                    payload.payload,
+                    payload.route[1:],
+                    view.received_count,
+                )
+                pctx.send(Address(payload.route[0], pctx.pid), fwd)
+            else:
+                if payload.ticket.node != pctx.node:
+                    raise UnknownTicketError(
+                        f"node {pctx.node} received terminal reply for foreign "
+                        f"ticket {payload.ticket!r}"
+                    )
+                if sender is not None:
+                    mstate.mapper.on_reply(view, sender.node)
+                mstate.forward_table.pop(payload.ticket, None)
+                self.app.on_reply(mctx, payload.ticket, payload.payload)
+        elif isinstance(payload, StatusMsg):
+            if sender is not None:
+                view.observe(sender.node, payload.sender_count)
+        elif isinstance(payload, CancelMsg):
+            if sender is not None:
+                view.observe(sender.node, payload.sender_count)
+            next_hop = mstate.forward_table.get(payload.ticket)
+            if next_hop is not None and payload.ticket.node != pctx.node:
+                # we relayed this work onward: pass the cancel along
+                pctx.send(
+                    Address(next_hop, pctx.pid),
+                    CancelMsg(payload.ticket, view.received_count),
+                )
+            else:
+                self.app.on_cancel(mctx, payload.ticket)
+        else:
+            # raw payload: an external trigger for the application
+            self.app.on_work(mctx, None, payload, None)
+
+        self._maybe_broadcast_status(pctx, mstate)
+
+    # -- internals -------------------------------------------------------
+
+    def _should_share(
+        self, pctx: ProcessContext, mstate: _MapState, msg: WorkMsg
+    ) -> bool:
+        if self.share_threshold is None or self.load_fn is None:
+            return False
+        # path holds the issuer plus every relay so far; cap the detour
+        if len(msg.path) > self.max_share_hops:
+            return False
+        return self.load_fn(pctx, mstate.app_state) >= self.share_threshold
+
+    def _forward_work(
+        self,
+        pctx: ProcessContext,
+        mstate: _MapState,
+        msg: WorkMsg,
+        consume_hop: bool = True,
+    ) -> None:
+        view = mstate.view
+        dst = mstate.mapper.choose(view, msg.hint)
+        mstate.mapper.on_sent(view, dst, msg.hint)
+        mstate.forward_table[msg.ticket] = dst
+        fwd = WorkMsg(
+            msg.ticket,
+            msg.payload,
+            msg.hint,
+            path=msg.path + (pctx.node,),
+            hops_left=msg.hops_left - 1 if consume_hop else msg.hops_left,
+            sender_count=view.received_count,
+        )
+        pctx.send(Address(dst, pctx.pid), fwd)
+
+    def _maybe_broadcast_status(self, pctx: ProcessContext, mstate: _MapState) -> None:
+        if mstate.status.should_broadcast(mstate.view.received_count):
+            count = mstate.view.received_count
+            for n in pctx.neighbours:
+                pctx.send(Address(n, pctx.pid), StatusMsg(count))
+            mstate.status.on_broadcast(count)
+
+    # -- inspection -------------------------------------------------------
+
+    @staticmethod
+    def results_of(process_state: Any) -> List[Any]:
+        """External results stored in a node's mapping-service state."""
+        if not isinstance(process_state, _MapState):
+            raise MappingError("state does not belong to a MappingService process")
+        return process_state.results
+
+    @staticmethod
+    def app_state_of(process_state: Any) -> Any:
+        """Hosted application's state inside a service state blob."""
+        if not isinstance(process_state, _MapState):
+            raise MappingError("state does not belong to a MappingService process")
+        return process_state.app_state
+
+    @staticmethod
+    def view_of(process_state: Any) -> MapperView:
+        """The node's :class:`MapperView` (activity counters)."""
+        if not isinstance(process_state, _MapState):
+            raise MappingError("state does not belong to a MappingService process")
+        return process_state.view

@@ -1,0 +1,92 @@
+"""Activity-status propagation policies (paper Figure 2, layer-3 concerns).
+
+Adaptive mapping needs activity estimates for neighbouring nodes.  Two
+channels feed them:
+
+* **piggybacking** — every layer-3 envelope carries the sender's received
+  count for free (always on);
+* **explicit status messages** — a node whose count moved by at least
+  ``threshold`` since its last broadcast tells all neighbours.  These
+  messages consume real queue slots, which is precisely the overhead that
+  makes adaptive mapping a net loss on small machines in the paper's
+  Figure 4 ("Adaptive mapping had a negative impact on absolute performance
+  for smaller topologies").
+
+Policies are per-node objects created by a factory, mirroring mappers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..errors import MappingError
+
+__all__ = [
+    "StatusPolicy",
+    "StatusPolicyFactory",
+    "NoStatusPolicy",
+    "ExplicitStatusPolicy",
+    "make_status_factory",
+]
+
+
+class StatusPolicy(Protocol):
+    """Decides when a node broadcasts its activity count to neighbours."""
+
+    def should_broadcast(self, received_count: int) -> bool:
+        """Called after handling each message; True triggers a broadcast."""
+        ...
+
+    def on_broadcast(self, received_count: int) -> None:
+        """Notification that the broadcast was actually sent."""
+        ...
+
+
+StatusPolicyFactory = Callable[[], StatusPolicy]
+
+
+class NoStatusPolicy:
+    """Never send explicit status messages (piggybacking only)."""
+
+    __slots__ = ()
+
+    def should_broadcast(self, received_count: int) -> bool:
+        return False
+
+    def on_broadcast(self, received_count: int) -> None:  # pragma: no cover
+        raise MappingError("NoStatusPolicy never broadcasts")
+
+
+class ExplicitStatusPolicy:
+    """Broadcast whenever the count moved >= ``threshold`` since last time."""
+
+    __slots__ = ("threshold", "_last_broadcast")
+
+    def __init__(self, threshold: int = 4) -> None:
+        if threshold < 1:
+            raise MappingError(f"status threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self._last_broadcast = 0
+
+    def should_broadcast(self, received_count: int) -> bool:
+        return received_count - self._last_broadcast >= self.threshold
+
+    def on_broadcast(self, received_count: int) -> None:
+        self._last_broadcast = received_count
+
+
+def make_status_factory(spec: "str | int | None") -> StatusPolicyFactory:
+    """Build a status-policy factory from a compact spec.
+
+    ``None`` or ``"off"`` → piggyback only; an integer (or numeric string)
+    → :class:`ExplicitStatusPolicy` with that threshold.
+    """
+    if spec is None or spec == "off":
+        return NoStatusPolicy
+    if isinstance(spec, str):
+        try:
+            spec = int(spec)
+        except ValueError as exc:
+            raise MappingError(f"bad status policy spec {spec!r}") from exc
+    threshold = int(spec)
+    return lambda: ExplicitStatusPolicy(threshold)

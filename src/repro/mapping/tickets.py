@@ -1,0 +1,46 @@
+"""Tickets: the layer-3 replacement for destination addressing (paper §IV-B).
+
+"In the mapping layer we replace node identifiers with a ticket system that
+selects message destinations automatically. [...] sender identity [is
+replaced] with a unique identifier (a ticket) that can be quoted to send
+reply messages."
+
+A :class:`Ticket` is globally unique — ``(issuing node, per-node sequence)``
+— and is all an application ever sees of "where" a sub-problem went.
+:class:`ReplyHandle` is the receiving side's view of a piece of delegated
+work: the ticket to quote plus the (hidden) reverse route to the issuer.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from ..topology import NodeId
+
+__all__ = ["Ticket", "ReplyHandle"]
+
+
+class Ticket(NamedTuple):
+    """Unique identifier for one delegated sub-problem."""
+
+    node: NodeId  # issuing node
+    seq: int  # issuer-local sequence number
+
+    def __repr__(self) -> str:
+        return f"Ticket({self.node}.{self.seq})"
+
+
+class ReplyHandle(NamedTuple):
+    """What a worker quotes to answer a piece of incoming work.
+
+    ``route`` is the reverse path back to the issuer (most work travels one
+    hop, so it is usually a single node).  Applications treat the handle as
+    opaque; only :class:`~repro.mapping.service.MappingContext.reply`
+    interprets it.
+    """
+
+    ticket: Ticket
+    route: Tuple[NodeId, ...]
+
+    def __repr__(self) -> str:
+        return f"ReplyHandle({self.ticket!r} via {list(self.route)})"

@@ -1,0 +1,45 @@
+"""Layer 1 — simulated message-passing machine (paper §IV-A).
+
+Public surface:
+
+* :class:`Machine` — the discrete-time event-loop backend.
+* :class:`NodeProgram` / :class:`FunctionalProgram` / :class:`NodeContext` —
+  the node code interface.
+* :class:`TraceRecorder` / :class:`SimulationReport` — profiling (paper §V-C).
+* :class:`FaultModel`, inbox policies — documented extensions.
+"""
+
+from .backend import EXTERNAL, Machine
+from .faults import FaultModel, ReliableLinks
+from .message import EMPTY_MSG, Envelope
+from .program import FunctionalProgram, NodeContext, NodeProgram, SendFn
+from .queues import FifoInbox, Inbox, LifoInbox, RandomInbox, make_inbox
+from .sizing import HEADER_SIZE, SizeFn, generic_content_size, make_envelope_sizer, unit_size
+from .trace import SimulationReport, TraceRecorder, gini, spatial_entropy
+
+__all__ = [
+    "Machine",
+    "EXTERNAL",
+    "EMPTY_MSG",
+    "Envelope",
+    "NodeProgram",
+    "FunctionalProgram",
+    "NodeContext",
+    "SendFn",
+    "TraceRecorder",
+    "SimulationReport",
+    "spatial_entropy",
+    "gini",
+    "FaultModel",
+    "ReliableLinks",
+    "Inbox",
+    "FifoInbox",
+    "LifoInbox",
+    "RandomInbox",
+    "make_inbox",
+    "SizeFn",
+    "unit_size",
+    "generic_content_size",
+    "make_envelope_sizer",
+    "HEADER_SIZE",
+]

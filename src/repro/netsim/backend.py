@@ -1,0 +1,310 @@
+"""Layer 1: the discrete-time message-passing machine simulator.
+
+This is the paper's §IV-A backend: "The backend initializes an array of node
+states and message queues then runs an event loop to deliver messages.  On
+each simulation time step, a message is popped from each non-empty queue and
+passed to a handler function (``receive``) to update the respective node's
+state.  While executing ``receive``, the node can queue further messages for
+transmission using a ``send`` handler."
+
+Semantics implemented here (and verified by tests):
+
+* one message popped per *non-empty-at-step-start* queue per step;
+* messages sent while handling step *t* are enqueued immediately but cannot
+  be popped before step *t+1*;
+* sends are restricted to topology neighbours (the paper assumes "messages
+  can be communicated between adjacent cores only") unless the topology is
+  fully connected — violations raise :class:`AdjacencyError`;
+* node handler order within a step is ascending node id (deterministic);
+* queues are unbounded FIFO by default (the paper's assumption); finite
+  capacities, other pop orders, link latency and fault injection are
+  opt-in extensions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import AdjacencyError, SimulationError
+from ..topology import NodeId, Topology
+from .faults import FaultModel, ReliableLinks
+from .message import Envelope
+from .program import NodeContext, NodeProgram
+from .queues import Inbox, make_inbox
+from .trace import SimulationReport, TraceRecorder
+
+__all__ = ["Machine", "LatencyFn"]
+
+#: Optional per-link latency: extra steps a message spends in flight.
+LatencyFn = Union[int, Callable[[NodeId, NodeId], int]]
+
+#: Source id used for externally injected (kickstart) messages.
+EXTERNAL = -1
+
+
+class Machine:
+    """A simulated hyperspace machine (topology + node program + event loop).
+
+    Parameters
+    ----------
+    topology:
+        Interconnect; also fixes each node's neighbour ordering.
+    program:
+        The :class:`NodeProgram` every node runs.
+    trace:
+        Optional pre-configured :class:`TraceRecorder` (e.g. with queue-depth
+        recording on).  A default one is created when omitted.
+    queue_policy / queue_capacity / queue_overflow:
+        Inbox discipline; defaults match the paper (unbounded FIFO).
+    latency:
+        Extra in-flight steps per message: an int or ``f(src, dst) -> int``.
+        Default 0 (delivered the following step).
+    enforce_adjacency:
+        Raise on sends to non-neighbours.  On by default; the fully connected
+        baseline simply has every pair adjacent.
+    faults:
+        Optional :class:`FaultModel` for drop/duplicate injection.
+    seed:
+        Seed for the machine's internal stream (random queue policy).
+    size_fn:
+        Optional message-size model for bandwidth accounting (see
+        :mod:`repro.netsim.sizing`); default charges one unit per message.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        program: NodeProgram,
+        *,
+        trace: Optional[TraceRecorder] = None,
+        queue_policy: str = "fifo",
+        queue_capacity: Optional[int] = None,
+        queue_overflow: str = "raise",
+        latency: LatencyFn = 0,
+        enforce_adjacency: bool = True,
+        faults: FaultModel = ReliableLinks,
+        seed: int = 0,
+        size_fn: Optional[Callable[[Any], int]] = None,
+    ) -> None:
+        self.topology = topology
+        self.program = program
+        self.trace = trace if trace is not None else TraceRecorder(topology.n_nodes)
+        if self.trace.n_nodes != topology.n_nodes:
+            raise SimulationError(
+                f"trace sized for {self.trace.n_nodes} nodes, machine has "
+                f"{topology.n_nodes}"
+            )
+        self._rng = random.Random(seed)
+        self._inboxes: List[Inbox] = [
+            make_inbox(queue_policy, self._rng, queue_capacity, queue_overflow)
+            for _ in range(topology.n_nodes)
+        ]
+        self._nonempty: set[NodeId] = set()
+        self._faults = faults
+        self._size_fn = size_fn
+        self._enforce_adjacency = enforce_adjacency
+        self._full = topology.kind == "full"
+        if isinstance(latency, int):
+            if latency < 0:
+                raise SimulationError(f"latency must be >= 0, got {latency}")
+            self._latency_fn: Optional[Callable[[NodeId, NodeId], int]] = (
+                None if latency == 0 else (lambda s, d: latency)
+            )
+        else:
+            self._latency_fn = latency
+        #: messages maturing at a future step: step -> [(dst, envelope)]
+        self._in_flight: Dict[int, List[Tuple[NodeId, Envelope]]] = {}
+        self._in_flight_count = 0
+        self._queued_count = 0
+        self.current_step = -1
+        self._next_msg_id = 0
+        self._halted = False
+        #: nodes whose program asked to be polled at the start of next step
+        self._poll_requests: set[NodeId] = set()
+        self._has_on_step = hasattr(program, "on_step")
+        # Build per-node contexts with bound send closures.
+        self._contexts: List[NodeContext] = []
+        self._neighbour_sets: List[frozenset[NodeId]] = []
+        for node in range(topology.n_nodes):
+            neigh = tuple(topology.neighbours(node))
+            self._neighbour_sets.append(frozenset(neigh))
+            ctx = NodeContext(node, neigh, self._make_send(node), self)
+            self._contexts.append(ctx)
+        for ctx in self._contexts:
+            self.program.init(ctx)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def _make_send(self, src: NodeId) -> Callable[[NodeId, Any], None]:
+        def send(dst: NodeId, payload: Any) -> None:
+            self._send_from(src, dst, payload)
+
+        return send
+
+    def _send_from(self, src: NodeId, dst: NodeId, payload: Any) -> None:
+        if not (0 <= dst < self.topology.n_nodes):
+            raise SimulationError(f"send to invalid node {dst} from node {src}")
+        if self._enforce_adjacency and src != EXTERNAL and not self._full:
+            if dst not in self._neighbour_sets[src]:
+                raise AdjacencyError(
+                    f"node {src} attempted to send to non-neighbour {dst} "
+                    f"(topology {self.topology.describe()})"
+                )
+        elif self._full and src != EXTERNAL and src == dst:
+            raise AdjacencyError(f"node {src} attempted to send to itself")
+        size = self._size_fn(payload) if self._size_fn is not None else 1
+        self.trace.on_send(src, self.current_step, payload, size)
+        copies = self._faults.copies_to_deliver()
+        if copies == 0:
+            self.trace.on_drop()
+            return
+        for _ in range(copies):
+            env = Envelope(src, dst, payload, self.current_step, self._next_msg_id)
+            self._next_msg_id += 1
+            if self._latency_fn is not None:
+                delay = self._latency_fn(src, dst) if src != EXTERNAL else 0
+                if delay < 0:
+                    raise SimulationError(f"negative latency {delay} for {src}->{dst}")
+            else:
+                delay = 0
+            if delay == 0:
+                self._enqueue(dst, env)
+            else:
+                mature = self.current_step + 1 + delay
+                self._in_flight.setdefault(mature, []).append((dst, env))
+                self._in_flight_count += 1
+
+    def _enqueue(self, dst: NodeId, env: Envelope) -> None:
+        if self._inboxes[dst].push(env):
+            self._queued_count += 1
+            self._nonempty.add(dst)
+        else:
+            self.trace.on_drop()
+
+    def inject(self, node: NodeId, payload: Any) -> None:
+        """Send a kickstart message from outside the machine to ``node``.
+
+        This is the paper's "the backend kickstarts computations by sending
+        EMPTY_MSG to a user-selected node".
+        """
+        self.topology.check_node(node)
+        self._send_from(EXTERNAL, node, payload)
+
+    def request_poll(self, node: NodeId) -> None:
+        """Ask that ``program.on_step`` run for ``node`` at the next step.
+
+        Used by node programs (e.g. the layer-2 scheduler) that keep local
+        work queues outside the network: a node with pending local work
+        registers itself, and the event loop polls it once at the start of
+        the following step.  Programs without an ``on_step`` method cannot
+        be polled.
+        """
+        if not self._has_on_step:
+            raise SimulationError(
+                f"program {type(self.program).__name__} has no on_step hook"
+            )
+        self.topology.check_node(node)
+        self._poll_requests.add(node)
+
+    def halt(self) -> None:
+        """Request the event loop stop at the end of the current step.
+
+        Applications call this (via their context's machine handle or an
+        upper layer) when a final answer is known — e.g. the SAT solver's
+        root invocation completing — so runs need not drain every
+        speculative message before returning.
+        """
+        self._halted = True
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
+    @property
+    def total_queued(self) -> int:
+        """Messages currently queued in inboxes (excludes in-flight)."""
+        return self._queued_count
+
+    @property
+    def is_quiescent(self) -> bool:
+        """True when no messages are queued, in flight, or awaiting a poll."""
+        return (
+            self._queued_count == 0
+            and self._in_flight_count == 0
+            and not self._poll_requests
+        )
+
+    def state_of(self, node: NodeId) -> Any:
+        """Application state of ``node`` (read-only inspection)."""
+        self.topology.check_node(node)
+        return self._contexts[node].state
+
+    def queue_depths(self) -> List[int]:
+        """Current inbox depth for every node."""
+        return [len(q) for q in self._inboxes]
+
+    def queue_depth_of(self, node: NodeId) -> int:
+        """Current inbox depth of one node (O(1))."""
+        self.topology.check_node(node)
+        return len(self._inboxes[node])
+
+    def step(self) -> int:
+        """Execute one simulation time step; return messages delivered."""
+        self.current_step += 1
+        step = self.current_step
+        # Mature in-flight messages first: they were sent at least one full
+        # step ago, so they are deliverable within this step.
+        matured = self._in_flight.pop(step, None)
+        if matured is not None:
+            self._in_flight_count -= len(matured)
+            for dst, env in matured:
+                self._enqueue(dst, env)
+        # Poll nodes that requested a step callback (snapshot: re-requests
+        # made during the callback land on the following step).
+        if self._poll_requests:
+            polled = sorted(self._poll_requests)
+            self._poll_requests.clear()
+            for node in polled:
+                self.program.on_step(self._contexts[node])
+        # Snapshot which queues may deliver this step (sends during the step
+        # must wait until the next one).
+        active = sorted(self._nonempty)
+        delivered = 0
+        for node in active:
+            inbox = self._inboxes[node]
+            env = inbox.pop()
+            self._queued_count -= 1
+            if not inbox:
+                self._nonempty.discard(node)
+            self.trace.on_deliver(node, step)
+            delivered += 1
+            self.program.on_message(self._contexts[node], env.src, env.payload)
+        self.trace.on_step_end(
+            step,
+            self._queued_count,
+            delivered,
+            self.queue_depths() if self.trace.record_queue_depths else None,
+        )
+        return delivered
+
+    def run(self, max_steps: int = 1_000_000) -> SimulationReport:
+        """Run until quiescent, halted, or ``max_steps`` steps elapse."""
+        if max_steps < 0:
+            raise SimulationError(f"max_steps must be >= 0, got {max_steps}")
+        executed = self.current_step + 1
+        while executed < max_steps and not self._halted and not self.is_quiescent:
+            self.step()
+            executed += 1
+        return self.report()
+
+    def report(self) -> SimulationReport:
+        """Snapshot the current trace into a :class:`SimulationReport`."""
+        return SimulationReport(
+            self.trace,
+            steps=self.current_step + 1,
+            quiescent=self.is_quiescent,
+            topology=self.topology,
+        )

@@ -1,0 +1,73 @@
+"""Send-side fault injection (extension; not part of the paper's model).
+
+The paper assumes perfectly reliable links.  :class:`FaultModel` lets tests
+and ablations probe the stack's behaviour under message loss and duplication,
+which layer 1's Figure-2 concerns ("buffering and reliability") would handle
+on a real machine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import SimulationError
+
+__all__ = ["FaultModel", "ReliableLinks"]
+
+
+class FaultModel:
+    """Bernoulli drop/duplicate faults applied to every send.
+
+    Parameters
+    ----------
+    drop_probability:
+        Chance that a sent message silently disappears.
+    duplicate_probability:
+        Chance that a sent message is delivered twice.
+    rng:
+        Seeded random stream; required when either probability is non-zero
+        so runs stay reproducible.
+    """
+
+    __slots__ = ("drop_probability", "duplicate_probability", "_rng")
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        for name, p in (
+            ("drop_probability", drop_probability),
+            ("duplicate_probability", duplicate_probability),
+        ):
+            if not (0.0 <= p <= 1.0):
+                raise SimulationError(f"{name} must be in [0, 1], got {p}")
+        if (drop_probability or duplicate_probability) and rng is None:
+            raise SimulationError("a seeded rng is required for non-zero fault rates")
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self._rng = rng
+
+    def copies_to_deliver(self) -> int:
+        """How many copies of the next sent message reach the inbox (0/1/2)."""
+        if self._rng is None:
+            return 1
+        if self.drop_probability and self._rng.random() < self.drop_probability:
+            return 0
+        if (
+            self.duplicate_probability
+            and self._rng.random() < self.duplicate_probability
+        ):
+            return 2
+        return 1
+
+    @property
+    def is_reliable(self) -> bool:
+        """True if this model never perturbs messages."""
+        return self.drop_probability == 0.0 and self.duplicate_probability == 0.0
+
+
+#: Shared no-fault model (the paper's assumption).
+ReliableLinks = FaultModel()

@@ -1,0 +1,58 @@
+"""Message envelope used by the layer-1 simulator.
+
+An :class:`Envelope` records the routing metadata the simulator needs (source,
+destination, send step, id) around an opaque application payload.  Payloads
+are never inspected by layer 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Envelope", "EMPTY_MSG"]
+
+#: The empty payload used by the paper's Listing 1 traversal example.
+EMPTY_MSG: object = None
+
+
+class Envelope:
+    """A routed message: ``src -> dst`` carrying ``payload``.
+
+    Attributes
+    ----------
+    src:
+        Sending node id, or ``-1`` for messages injected from outside the
+        machine (the backend "kickstarts computations by sending EMPTY_MSG
+        to a user-selected node").
+    dst:
+        Destination node id.
+    payload:
+        Opaque application data.
+    sent_step:
+        Simulation step at which the message was sent (injections happen
+        at step -1, before the clock starts).
+    msg_id:
+        Unique, monotonically increasing id assigned by the backend; used
+        for deterministic tie-breaking and trace correlation.
+    """
+
+    __slots__ = ("src", "dst", "payload", "sent_step", "msg_id")
+
+    def __init__(
+        self, src: int, dst: int, payload: Any, sent_step: int, msg_id: int
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.sent_step = sent_step
+        self.msg_id = msg_id
+
+    def copy_as(self, msg_id: int) -> "Envelope":
+        """Clone with a fresh id (used by duplication fault injection)."""
+        return Envelope(self.src, self.dst, self.payload, self.sent_step, msg_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope(#{self.msg_id} {self.src}->{self.dst} "
+            f"@{self.sent_step} {self.payload!r})"
+        )

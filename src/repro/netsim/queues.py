@@ -1,0 +1,147 @@
+"""Inbox queue implementations and pop policies.
+
+The paper's backend uses plain FIFO queues of unbounded capacity ("inter-node
+message queues were sufficiently large to accommodate all pushed messages").
+FIFO/unbounded is the default here; LIFO and seeded-random pop orders plus
+finite capacities are provided as documented extensions, used by the
+ablation benches and by tests probing ordering assumptions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Iterable, Iterator, List, Optional
+
+from ..errors import QueueOverflowError, SimulationError
+from .message import Envelope
+
+__all__ = ["Inbox", "FifoInbox", "LifoInbox", "RandomInbox", "make_inbox"]
+
+
+class Inbox:
+    """Abstract per-node inbox."""
+
+    __slots__ = ("capacity", "overflow")
+
+    def __init__(self, capacity: Optional[int], overflow: str) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"inbox capacity must be >= 1, got {capacity}")
+        if overflow not in ("raise", "drop"):
+            raise SimulationError(f"overflow policy must be 'raise' or 'drop', got {overflow!r}")
+        self.capacity = capacity
+        self.overflow = overflow
+
+    def push(self, env: Envelope) -> bool:
+        """Enqueue; returns False if the message was dropped on overflow."""
+        if self.capacity is not None and len(self) >= self.capacity:
+            if self.overflow == "raise":
+                raise QueueOverflowError(
+                    f"inbox of node {env.dst} overflowed (capacity {self.capacity})"
+                )
+            return False
+        self._store(env)
+        return True
+
+    def pop(self) -> Envelope:
+        """Dequeue one message according to this inbox's policy."""
+        raise NotImplementedError
+
+    def _store(self, env: Envelope) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Envelope]:
+        raise NotImplementedError
+
+
+class FifoInbox(Inbox):
+    """First-in first-out inbox — the paper's queue discipline."""
+
+    __slots__ = ("_q",)
+
+    def __init__(self, capacity: Optional[int] = None, overflow: str = "raise") -> None:
+        super().__init__(capacity, overflow)
+        self._q: deque[Envelope] = deque()
+
+    def _store(self, env: Envelope) -> None:
+        self._q.append(env)
+
+    def pop(self) -> Envelope:
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[Envelope]:
+        return iter(self._q)
+
+
+class LifoInbox(Inbox):
+    """Last-in first-out inbox — depth-first-flavoured delivery order."""
+
+    __slots__ = ("_q",)
+
+    def __init__(self, capacity: Optional[int] = None, overflow: str = "raise") -> None:
+        super().__init__(capacity, overflow)
+        self._q: List[Envelope] = []
+
+    def _store(self, env: Envelope) -> None:
+        self._q.append(env)
+
+    def pop(self) -> Envelope:
+        return self._q.pop()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[Envelope]:
+        return iter(self._q)
+
+
+class RandomInbox(Inbox):
+    """Uniform-random pop order (seeded) — models unordered networks."""
+
+    __slots__ = ("_q", "_rng")
+
+    def __init__(
+        self,
+        rng: random.Random,
+        capacity: Optional[int] = None,
+        overflow: str = "raise",
+    ) -> None:
+        super().__init__(capacity, overflow)
+        self._q: List[Envelope] = []
+        self._rng = rng
+
+    def _store(self, env: Envelope) -> None:
+        self._q.append(env)
+
+    def pop(self) -> Envelope:
+        i = self._rng.randrange(len(self._q))
+        self._q[i], self._q[-1] = self._q[-1], self._q[i]
+        return self._q.pop()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[Envelope]:
+        return iter(self._q)
+
+
+def make_inbox(
+    policy: str,
+    rng: random.Random,
+    capacity: Optional[int] = None,
+    overflow: str = "raise",
+) -> Inbox:
+    """Build an inbox for the given pop ``policy`` (fifo / lifo / random)."""
+    if policy == "fifo":
+        return FifoInbox(capacity, overflow)
+    if policy == "lifo":
+        return LifoInbox(capacity, overflow)
+    if policy == "random":
+        return RandomInbox(rng, capacity, overflow)
+    raise SimulationError(f"unknown queue policy {policy!r}")

@@ -1,0 +1,85 @@
+"""Message-size models for bandwidth accounting (paper Figure 2, layer 1).
+
+The simulator's time model charges one queue slot per message regardless of
+size; this module adds the *bandwidth* dimension: a ``size_fn`` estimates
+each payload's wire size, and the trace accumulates per-node and per-step
+traffic so workloads can be compared by bytes moved, not just messages.
+
+Sizes are abstract units (think words).  :func:`make_envelope_sizer` knows
+how to unwrap the stack's own envelopes (scheduler packets, work/reply/
+status/cancel messages) down to the application payload, which a
+content sizer measures; unknown content falls back to
+:func:`generic_content_size`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "SizeFn",
+    "unit_size",
+    "generic_content_size",
+    "make_envelope_sizer",
+    "HEADER_SIZE",
+]
+
+#: maps a layer-1 payload to its abstract wire size
+SizeFn = Callable[[Any], int]
+
+#: fixed per-envelope header charge (addresses, tickets, counters)
+HEADER_SIZE = 2
+
+
+def unit_size(payload: Any) -> int:
+    """The default model: every message costs one unit."""
+    return 1
+
+
+def generic_content_size(content: Any) -> int:
+    """Crude structural size: tuples/lists/dicts/sets count their elements
+    recursively, everything else costs one unit."""
+    if isinstance(content, (tuple, list, set, frozenset)):
+        return 1 + sum(generic_content_size(c) for c in content)
+    if isinstance(content, dict):
+        return 1 + sum(
+            generic_content_size(k) + generic_content_size(v)
+            for k, v in content.items()
+        )
+    return 1
+
+
+def make_envelope_sizer(
+    content_size: Optional[Callable[[Any], int]] = None,
+) -> SizeFn:
+    """Build a :data:`SizeFn` that unwraps the stack's envelopes.
+
+    ``content_size`` measures the application payload reached after
+    unwrapping (default :func:`generic_content_size`).  Each envelope level
+    adds :data:`HEADER_SIZE`; work/reply paths charge one unit per recorded
+    hop.
+    """
+    measure = content_size if content_size is not None else generic_content_size
+
+    def size_of(payload: Any) -> int:
+        # imported lazily to keep netsim free of upward dependencies
+        from ..mapping.envelopes import CancelMsg, ReplyMsg, StatusMsg, WorkMsg
+        from ..sched.scheduler import Packet
+
+        size = 0
+        while True:
+            if isinstance(payload, Packet):
+                size += HEADER_SIZE
+                payload = payload.payload
+            elif isinstance(payload, WorkMsg):
+                size += HEADER_SIZE + len(payload.path)
+                payload = payload.payload
+            elif isinstance(payload, ReplyMsg):
+                size += HEADER_SIZE + len(payload.route)
+                payload = payload.payload
+            elif isinstance(payload, (StatusMsg, CancelMsg)):
+                return size + HEADER_SIZE
+            else:
+                return size + measure(payload)
+
+    return size_of

@@ -1,0 +1,269 @@
+"""Simulation instrumentation (paper §V-C).
+
+The paper's profiling pipeline logs, for every run:
+
+1. **Computation time** — "the number of simulation time steps between the
+   first (trigger) and last messages";
+2. **Interconnect activity** — "the total number of queued messages across
+   the mesh versus time" (Figure 5 top row);
+3. **Node activity** — "the total messages delivered to each node during the
+   simulation" (Figure 5 bottom row heatmaps).
+
+:class:`TraceRecorder` collects all three with O(1) Python-int work per event
+(numpy conversion happens once, post-run), plus per-payload-type counters and
+an optional per-step per-node queue-depth matrix for fine-grained analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..topology import Topology
+
+__all__ = ["TraceRecorder", "SimulationReport", "spatial_entropy", "gini"]
+
+
+def _payload_kind(payload: Any) -> str:
+    """Human-readable tag for per-type message counters."""
+    if payload is None:
+        return "empty"
+    return type(payload).__name__
+
+
+class TraceRecorder:
+    """Accumulates simulation events; queried through :class:`SimulationReport`.
+
+    Parameters
+    ----------
+    n_nodes:
+        Machine size (for the node-activity histogram).
+    record_queue_depths:
+        If True, snapshot every node's queue depth at every step into a
+        ``steps x n_nodes`` matrix.  Costs O(n_nodes) per step — off by
+        default; the Figure 5 bench enables it for the unfolding heatmaps.
+    """
+
+    __slots__ = (
+        "n_nodes",
+        "record_queue_depths",
+        "queued_series",
+        "delivered_series",
+        "node_delivered",
+        "node_sent",
+        "sent_total",
+        "delivered_total",
+        "dropped_total",
+        "traffic_total",
+        "node_traffic",
+        "first_activity_step",
+        "last_activity_step",
+        "payload_counts",
+        "queue_depth_rows",
+    )
+
+    def __init__(self, n_nodes: int, record_queue_depths: bool = False) -> None:
+        self.n_nodes = n_nodes
+        self.record_queue_depths = record_queue_depths
+        #: total messages sitting in queues at the end of each step
+        self.queued_series: List[int] = []
+        #: messages delivered during each step
+        self.delivered_series: List[int] = []
+        self.node_delivered = [0] * n_nodes
+        self.node_sent = [0] * n_nodes
+        self.sent_total = 0
+        self.delivered_total = 0
+        self.dropped_total = 0
+        #: abstract wire units moved (see repro.netsim.sizing)
+        self.traffic_total = 0
+        self.node_traffic = [0] * n_nodes
+        self.first_activity_step: Optional[int] = None
+        self.last_activity_step: Optional[int] = None
+        self.payload_counts: Dict[str, int] = {}
+        self.queue_depth_rows: List[List[int]] = []
+
+    # -- event hooks (called by the backend) ---------------------------
+
+    def on_send(self, src: int, step: int, payload: Any, size: int = 1) -> None:
+        self.sent_total += 1
+        self.traffic_total += size
+        if 0 <= src < self.n_nodes:
+            self.node_sent[src] += 1
+            self.node_traffic[src] += size
+        kind = _payload_kind(payload)
+        self.payload_counts[kind] = self.payload_counts.get(kind, 0) + 1
+        if self.first_activity_step is None:
+            self.first_activity_step = step
+        self.last_activity_step = step
+
+    def on_drop(self) -> None:
+        self.dropped_total += 1
+
+    def on_deliver(self, dst: int, step: int) -> None:
+        self.delivered_total += 1
+        self.node_delivered[dst] += 1
+        if self.first_activity_step is None:
+            self.first_activity_step = step
+        self.last_activity_step = step
+
+    def on_step_end(
+        self,
+        step: int,
+        total_queued: int,
+        delivered_this_step: int,
+        queue_depths: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.queued_series.append(total_queued)
+        self.delivered_series.append(delivered_this_step)
+        if self.record_queue_depths and queue_depths is not None:
+            self.queue_depth_rows.append(list(queue_depths))
+
+
+class SimulationReport:
+    """Immutable summary of one simulation run.
+
+    Exposes the paper's three metrics plus derived statistics used by the
+    benchmark harness (performance, spatial spread measures, heatmaps).
+    """
+
+    def __init__(
+        self,
+        trace: TraceRecorder,
+        steps: int,
+        quiescent: bool,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self._topology = topology
+        #: steps actually executed by :meth:`Machine.run`
+        self.steps = steps
+        #: True if the run ended because no messages remained anywhere
+        self.quiescent = quiescent
+        self.sent_total = trace.sent_total
+        self.delivered_total = trace.delivered_total
+        self.dropped_total = trace.dropped_total
+        self.payload_counts = dict(trace.payload_counts)
+        self.queued_series = np.asarray(trace.queued_series, dtype=np.int64)
+        self.delivered_series = np.asarray(trace.delivered_series, dtype=np.int64)
+        self.node_delivered = np.asarray(trace.node_delivered, dtype=np.int64)
+        self.node_sent = np.asarray(trace.node_sent, dtype=np.int64)
+        self.traffic_total = trace.traffic_total
+        self.node_traffic = np.asarray(trace.node_traffic, dtype=np.int64)
+        self.first_activity_step = trace.first_activity_step
+        self.last_activity_step = trace.last_activity_step
+        if trace.queue_depth_rows:
+            self.queue_depths: Optional[np.ndarray] = np.asarray(
+                trace.queue_depth_rows, dtype=np.int64
+            )
+        else:
+            self.queue_depths = None
+
+    # -- paper metrics ---------------------------------------------------
+
+    @property
+    def computation_time(self) -> int:
+        """Steps between the first (trigger) and last messages (paper §V-C)."""
+        if self.first_activity_step is None or self.last_activity_step is None:
+            return 0
+        return self.last_activity_step - self.first_activity_step
+
+    @property
+    def performance(self) -> float:
+        """Figure 4's y-axis: ``1 / computation_time`` (inf-safe)."""
+        t = self.computation_time
+        return 1.0 / t if t > 0 else math.inf
+
+    @property
+    def interconnect_activity(self) -> np.ndarray:
+        """Total queued messages per step (Figure 5 top-row series)."""
+        return self.queued_series
+
+    @property
+    def node_activity(self) -> np.ndarray:
+        """Total messages delivered per node (Figure 5 bottom-row data)."""
+        return self.node_delivered
+
+    def heatmap(self) -> np.ndarray:
+        """Node activity reshaped to the machine's mesh shape (2D+ meshes)."""
+        if self._topology is None:
+            raise ValueError("report was built without a topology reference")
+        shape = self._topology.shape
+        coords = [self._topology.coords(n) for n in range(self._topology.n_nodes)]
+        grid = np.zeros(shape, dtype=np.int64)
+        for node, c in enumerate(coords):
+            grid[c] = self.node_delivered[node]
+        return grid
+
+    # -- derived statistics ------------------------------------------------
+
+    @property
+    def mean_message_size(self) -> float:
+        """Average wire units per message (1.0 under the default model)."""
+        return self.traffic_total / self.sent_total if self.sent_total else 0.0
+
+    @property
+    def peak_queued(self) -> int:
+        """Maximum total queued messages across any step."""
+        return int(self.queued_series.max()) if self.queued_series.size else 0
+
+    @property
+    def active_node_count(self) -> int:
+        """Number of nodes that received at least one message."""
+        return int((self.node_delivered > 0).sum())
+
+    @property
+    def activity_entropy(self) -> float:
+        """Shannon entropy (bits) of the delivered-message distribution.
+
+        Higher = work spread more evenly across the mesh; used to quantify
+        the "larger degree of spatial unfolding" of adaptive mapping (§V-E).
+        """
+        return spatial_entropy(self.node_delivered)
+
+    @property
+    def activity_gini(self) -> float:
+        """Gini concentration of per-node activity (0 = even, →1 = one node)."""
+        return gini(self.node_delivered)
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact dict for benchmark tables and logs."""
+        return {
+            "steps": self.steps,
+            "quiescent": self.quiescent,
+            "computation_time": self.computation_time,
+            "performance": self.performance,
+            "sent": self.sent_total,
+            "delivered": self.delivered_total,
+            "dropped": self.dropped_total,
+            "traffic": self.traffic_total,
+            "peak_queued": self.peak_queued,
+            "active_nodes": self.active_node_count,
+            "activity_entropy": round(self.activity_entropy, 4),
+            "activity_gini": round(self.activity_gini, 4),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulationReport({self.summary()!r})"
+
+
+def spatial_entropy(counts: Sequence[int]) -> float:
+    """Shannon entropy in bits of a non-negative count histogram."""
+    arr = np.asarray(counts, dtype=np.float64)
+    total = arr.sum()
+    if total <= 0:
+        return 0.0
+    p = arr[arr > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def gini(counts: Sequence[int]) -> float:
+    """Gini coefficient of a non-negative histogram (0 = uniform)."""
+    arr = np.sort(np.asarray(counts, dtype=np.float64))
+    n = arr.size
+    total = arr.sum()
+    if n == 0 or total <= 0:
+        return 0.0
+    # standard formula over sorted values
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * arr).sum() / (n * total)) - (n + 1.0) / n)

@@ -1,0 +1,27 @@
+"""Layer 4 — continuation-based fork-join recursion (paper §IV-C).
+
+Public surface:
+
+* :class:`RecursionEngine` — hosts a generator function as a distributed
+  recursion on top of layer 3.
+* Yield ops: :class:`Call`, :class:`Sync`, :class:`Result`, :class:`Choice`
+  (and the paper's literal ``[is_valid, Call, ...]`` list form).
+* :class:`EngineStats` — per-node layer-4 counters.
+"""
+
+from .engine import EngineStats, RecursionEngine, RecursiveFunction
+from .ops import Call, Choice, Result, Sync, coerce_op
+from .records import CallRecord, Invocation
+
+__all__ = [
+    "RecursionEngine",
+    "RecursiveFunction",
+    "EngineStats",
+    "Call",
+    "Sync",
+    "Result",
+    "Choice",
+    "coerce_op",
+    "CallRecord",
+    "Invocation",
+]

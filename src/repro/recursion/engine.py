@@ -1,0 +1,290 @@
+"""Layer 4: the recursion-to-message-passing conversion engine (paper §IV-C).
+
+:class:`RecursionEngine` is a layer-3 :class:`~repro.mapping.MappedApp`
+hosting a user *generator function*.  It intercepts recursive subcalls and
+converts them to layer-3 messages behind the scenes:
+
+1. incoming work instantiates the generator and drives it;
+2. a yielded :class:`~repro.recursion.ops.Call` is shipped to a
+   mapper-chosen node and its ticket parked in a call record;
+3. a yielded :class:`~repro.recursion.ops.Sync` suspends the generator (the
+   continuation) until all parked tickets have results;
+4. a yielded :class:`~repro.recursion.ops.Result` (or a plain ``return``)
+   replies to the parent node, quoting the original ticket.
+
+Choice groups (``yield [is_valid, Call(a), Call(b)]``) resume on the first
+valid evaluation.  With ``cancellation=True`` (extension; the paper merely
+*ignores* losing evaluations) the engine actively propagates
+:class:`~repro.mapping.CancelMsg` down abandoned speculative subtrees,
+cascading through their own outstanding subcalls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..errors import ProtocolError, RecursionLayerError
+from ..mapping import MappingContext, ReplyHandle, Ticket
+from .ops import Call, Choice, Result, Sync, coerce_op
+from .records import CallRecord, Invocation
+
+__all__ = ["RecursionEngine", "RecursiveFunction", "EngineStats"]
+
+#: A layer-5 application: a generator function of one argument.
+RecursiveFunction = Callable[[Any], Generator[Any, Any, Any]]
+
+
+class EngineStats:
+    """Per-node layer-4 counters (aggregated by the stack for profiling)."""
+
+    __slots__ = (
+        "invocations",
+        "completions",
+        "calls_made",
+        "syncs",
+        "choice_groups",
+        "choice_wins",
+        "choice_exhausted",
+        "cancels_sent",
+        "cancels_received",
+        "late_replies",
+    )
+
+    def __init__(self) -> None:
+        self.invocations = 0
+        self.completions = 0
+        self.calls_made = 0
+        self.syncs = 0
+        self.choice_groups = 0
+        self.choice_wins = 0
+        self.choice_exhausted = 0
+        self.cancels_sent = 0
+        self.cancels_received = 0
+        self.late_replies = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for reports."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+class _EngineState:
+    """Per-node engine state (lives in the layer-3 state slot)."""
+
+    __slots__ = ("invocations", "pending", "by_reply_ticket", "next_inv_id", "stats")
+
+    def __init__(self) -> None:
+        #: live invocations by local id
+        self.invocations: Dict[int, Invocation] = {}
+        #: outstanding subcall tickets -> (invocation, call record)
+        self.pending: Dict[Ticket, Tuple[Invocation, CallRecord]] = {}
+        #: incoming-work ticket -> invocation (for cancellation lookups)
+        self.by_reply_ticket: Dict[Ticket, Invocation] = {}
+        self.next_inv_id = 0
+        self.stats = EngineStats()
+
+
+class RecursionEngine:
+    """Host ``fn`` (a generator function) as a distributed recursion.
+
+    Parameters
+    ----------
+    fn:
+        The layer-5 application.  Called as ``fn(args)`` for each delegated
+        sub-problem; must yield layer-4 ops (see :mod:`repro.recursion.ops`).
+    cancellation:
+        If True, losing evaluations of a choice group — and, transitively,
+        their own outstanding subcalls — are actively cancelled instead of
+        merely ignored.
+    """
+
+    def __init__(self, fn: RecursiveFunction, cancellation: bool = False) -> None:
+        if not callable(fn):
+            raise RecursionLayerError(f"fn must be callable, got {fn!r}")
+        self.fn = fn
+        self.cancellation = cancellation
+
+    # -- MappedApp protocol ----------------------------------------------
+
+    def init(self, mctx: MappingContext) -> None:
+        mctx.state = _EngineState()
+
+    def on_work(
+        self,
+        mctx: MappingContext,
+        reply: Optional[ReplyHandle],
+        payload: Any,
+        hint: Optional[float],
+    ) -> None:
+        st: _EngineState = mctx.state
+        gen = self.fn(payload)
+        if not hasattr(gen, "send"):
+            raise ProtocolError(
+                f"{getattr(self.fn, '__name__', self.fn)!r} must be a generator "
+                "function (it returned a non-generator)"
+            )
+        inv = Invocation(st.next_inv_id, gen, reply)
+        st.next_inv_id += 1
+        st.invocations[inv.inv_id] = inv
+        if reply is not None:
+            st.by_reply_ticket[reply.ticket] = inv
+        st.stats.invocations += 1
+        self._advance(mctx, st, inv, first=True)
+
+    def on_reply(self, mctx: MappingContext, ticket: Ticket, payload: Any) -> None:
+        st: _EngineState = mctx.state
+        entry = st.pending.pop(ticket, None)
+        if entry is None:
+            # evaluation for a retired/cancelled subcall; drop it
+            st.stats.late_replies += 1
+            return
+        inv, record = entry
+        resolved_now = record.deliver(ticket, payload)
+        if resolved_now and record.is_choice:
+            if record.value is None:
+                st.stats.choice_exhausted += 1
+            else:
+                st.stats.choice_wins += 1
+                # losing evaluations are no longer needed
+                for t in record.outstanding():
+                    st.pending.pop(t, None)
+                    if self.cancellation:
+                        mctx.cancel(t)
+                        st.stats.cancels_sent += 1
+        if inv.done or inv.cancelled:
+            return
+        if inv.waiting_sync and inv.batch_resolved():
+            value = inv.sync_value()
+            inv.waiting_sync = False
+            inv.batch = []
+            self._advance(mctx, st, inv, resume_value=value)
+
+    def on_cancel(self, mctx: MappingContext, ticket: Ticket) -> None:
+        st: _EngineState = mctx.state
+        inv = st.by_reply_ticket.pop(ticket, None)
+        st.stats.cancels_received += 1
+        if inv is None or inv.done or inv.cancelled:
+            return
+        self._cancel_invocation(mctx, st, inv)
+
+    # -- generator driving --------------------------------------------------
+
+    def _advance(
+        self,
+        mctx: MappingContext,
+        st: _EngineState,
+        inv: Invocation,
+        first: bool = False,
+        resume_value: Any = None,
+    ) -> None:
+        """Drive ``inv``'s generator until it suspends or finishes."""
+        to_send: Any = None if first else resume_value
+        gen = inv.gen
+        while True:
+            try:
+                yielded = gen.send(to_send)
+            except StopIteration as stop:
+                # `return value` sugar for `yield Result(value)`
+                self._finish(mctx, st, inv, stop.value)
+                return
+            op = coerce_op(yielded)
+            if isinstance(op, Call):
+                to_send = self._issue_call(mctx, st, inv, op)
+            elif isinstance(op, Choice):
+                record = CallRecord([], op.is_valid)
+                for call in op.calls:
+                    ticket = mctx.call(call.args, call.hint)
+                    record.tickets.append(ticket)
+                    st.pending[ticket] = (inv, record)
+                    st.stats.calls_made += 1
+                inv.batch.append(record)
+                st.stats.choice_groups += 1
+                to_send = tuple(record.tickets)
+            elif isinstance(op, Sync):
+                st.stats.syncs += 1
+                if inv.batch_resolved():
+                    to_send = inv.sync_value()
+                    inv.batch = []
+                    continue
+                inv.waiting_sync = True
+                return
+            elif isinstance(op, Result):
+                self._finish(mctx, st, inv, op.value)
+                gen.close()
+                return
+
+    def _issue_call(
+        self,
+        mctx: MappingContext,
+        st: _EngineState,
+        inv: Invocation,
+        op: Call,
+    ) -> Ticket:
+        ticket = mctx.call(op.args, op.hint)
+        record = CallRecord([ticket], None)
+        st.pending[ticket] = (inv, record)
+        inv.batch.append(record)
+        st.stats.calls_made += 1
+        return ticket
+
+    def _finish(
+        self, mctx: MappingContext, st: _EngineState, inv: Invocation, value: Any
+    ) -> None:
+        inv.done = True
+        st.stats.completions += 1
+        # retire any still-outstanding speculative subcalls
+        for t in inv.outstanding_tickets():
+            st.pending.pop(t, None)
+            if self.cancellation:
+                mctx.cancel(t)
+                st.stats.cancels_sent += 1
+        st.invocations.pop(inv.inv_id, None)
+        if inv.reply is not None:
+            st.by_reply_ticket.pop(inv.reply.ticket, None)
+        mctx.reply(inv.reply, value)
+
+    def _cancel_invocation(
+        self, mctx: MappingContext, st: _EngineState, inv: Invocation
+    ) -> None:
+        inv.cancelled = True
+        for t in inv.outstanding_tickets():
+            st.pending.pop(t, None)
+            mctx.cancel(t)
+            st.stats.cancels_sent += 1
+        st.invocations.pop(inv.inv_id, None)
+        inv.gen.close()
+
+    # -- inspection ---------------------------------------------------------
+
+    @staticmethod
+    def stats_of(app_state: Any) -> EngineStats:
+        """Engine statistics held in a node's layer-4 state."""
+        if not isinstance(app_state, _EngineState):
+            raise RecursionLayerError("state does not belong to a RecursionEngine")
+        return app_state.stats
+
+    @staticmethod
+    def live_invocations_of(app_state: Any) -> int:
+        """Number of live (suspended or running) invocations on a node."""
+        if not isinstance(app_state, _EngineState):
+            raise RecursionLayerError("state does not belong to a RecursionEngine")
+        return len(app_state.invocations)
+
+    @staticmethod
+    def load_probe(pctx: Any, app_state: Any) -> int:
+        """Layer-3 load metric for work sharing: live invocations held here.
+
+        Passed as ``load_fn`` to :class:`~repro.mapping.MappingService` so
+        an overloaded node can push incoming work onward (extension; paper
+        Figure 2's "work sharing/stealing").  Note that in the
+        one-pop-per-step machine this overstates pressure — suspended
+        invocations cost nothing — so
+        :func:`repro.mapping.queue_depth_load` is usually the better probe.
+        """
+        if not isinstance(app_state, _EngineState):
+            return 0
+        return len(app_state.invocations)

@@ -1,0 +1,113 @@
+"""Layer-4 yield operations (paper §IV-C, Figure 3).
+
+Applications hosted by the recursion layer are Python generator functions —
+the "lightweight form of user-managed threads" the paper builds on ("we use
+a ``yield`` operator as a mechanism for communication between layer 4 and
+application code").  The values an application may yield:
+
+* :class:`Call` — delegate a subcall; the yield evaluates to the subcall's
+  :class:`~repro.mapping.tickets.Ticket` and execution continues immediately;
+* :class:`Sync` — block until all calls made since the previous sync have
+  results; the yield evaluates to the result (one call) or a tuple of
+  results (several calls), in issue order;
+* :class:`Result` — terminate this invocation, returning the value to the
+  parent (``return value`` from the generator is accepted as sugar);
+* :class:`Choice` — the non-deterministic form: several calls plus an
+  ``is_valid`` predicate.  The next sync evaluates to the first returned
+  result satisfying ``is_valid`` (remaining evaluations are ignored — or
+  actively cancelled when the engine runs with cancellation on), or ``None``
+  if every evaluation came back invalid.  The paper's literal list syntax
+  ``yield [is_valid, Call(a), Call(b)]`` is accepted as an alias.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from ..errors import ProtocolError
+
+__all__ = ["Call", "Sync", "Result", "Choice", "coerce_op"]
+
+
+class Call:
+    """Delegate ``args`` as a subcall to a mapper-chosen node.
+
+    ``hint`` is the optional cross-layer size estimate passed down to the
+    mapping layer (paper §III-B3).
+    """
+
+    __slots__ = ("args", "hint")
+
+    def __init__(self, args: Any, hint: Optional[float] = None) -> None:
+        self.args = args
+        self.hint = hint
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Call({self.args!r})" if self.hint is None else f"Call({self.args!r}, hint={self.hint})"
+
+
+class Sync:
+    """Wait for the results of all calls made since the previous sync."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Sync()"
+
+
+class Result:
+    """Terminate the invocation and return ``value`` to the parent."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Result({self.value!r})"
+
+
+class Choice:
+    """Non-deterministic choice over several concurrent subcalls.
+
+    The engine issues every call; the invocation's next :class:`Sync`
+    resumes as soon as one evaluation ``e`` with ``is_valid(e)`` true is
+    returned (yielding ``e``), or with ``None`` once all evaluations have
+    come back invalid.
+    """
+
+    __slots__ = ("is_valid", "calls")
+
+    def __init__(self, is_valid: Callable[[Any], bool], *calls: Call) -> None:
+        if not callable(is_valid):
+            raise ProtocolError(f"Choice needs a callable is_valid, got {is_valid!r}")
+        if not calls:
+            raise ProtocolError("Choice needs at least one Call")
+        for c in calls:
+            if not isinstance(c, Call):
+                raise ProtocolError(f"Choice accepts Call objects only, got {c!r}")
+        self.is_valid = is_valid
+        self.calls: Tuple[Call, ...] = calls
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Choice({self.is_valid!r}, {len(self.calls)} calls)"
+
+
+def coerce_op(yielded: Any) -> Any:
+    """Normalise a yielded value to one of the four op classes.
+
+    Accepts the paper's literal list form ``[is_valid, Call, Call, ...]``
+    (any sequence whose head is callable and tail is all ``Call``) and turns
+    it into a :class:`Choice`.  Anything unrecognised raises
+    :class:`~repro.errors.ProtocolError`.
+    """
+    if isinstance(yielded, (Call, Sync, Result, Choice)):
+        return yielded
+    if isinstance(yielded, (list, tuple)) and yielded:
+        head, *tail = yielded
+        if callable(head) and tail and all(isinstance(c, Call) for c in tail):
+            return Choice(head, *tail)
+    raise ProtocolError(
+        f"application yielded unsupported value {yielded!r}; expected Call, "
+        "Sync, Result, Choice or [is_valid, Call, ...]"
+    )

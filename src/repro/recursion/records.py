@@ -1,0 +1,136 @@
+"""Call records and invocation bookkeeping (paper Figure 3).
+
+"Layer 4 maintains a record of invoked calls (call records). [...] The
+ticket number issued by layer 3 is stored in call records, alongside an
+empty slot for a pending computation result."
+
+A :class:`CallRecord` covers either a single subcall or a whole
+non-deterministic choice group (the paper stores "all tickets in the same
+call record" for choices).  An :class:`Invocation` is one suspended/running
+activation of the user's recursive function on this node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..mapping import ReplyHandle, Ticket
+
+__all__ = ["CallRecord", "Invocation"]
+
+
+class CallRecord:
+    """Result slot(s) for one subcall or one choice group."""
+
+    __slots__ = ("tickets", "is_valid", "results", "resolved", "value")
+
+    def __init__(
+        self, tickets: List[Ticket], is_valid: Optional[Callable[[Any], bool]]
+    ) -> None:
+        self.tickets = tickets
+        #: None for plain calls; the choice predicate otherwise
+        self.is_valid = is_valid
+        self.results: Dict[Ticket, Any] = {}
+        self.resolved = False
+        self.value: Any = None
+
+    @property
+    def is_choice(self) -> bool:
+        """True for choice groups (several tickets + predicate)."""
+        return self.is_valid is not None
+
+    def deliver(self, ticket: Ticket, payload: Any) -> bool:
+        """Record one evaluation; return True if this resolved the record.
+
+        Plain records resolve on their (single) result.  Choice records
+        resolve on the first valid evaluation, or — with ``None`` as value —
+        once every evaluation has arrived invalid.
+        """
+        self.results[ticket] = payload
+        if self.resolved:
+            return False
+        if self.is_valid is None:
+            self.resolved = True
+            self.value = payload
+            return True
+        if self.is_valid(payload):
+            self.resolved = True
+            self.value = payload
+            return True
+        if len(self.results) == len(self.tickets):
+            self.resolved = True
+            self.value = None
+            return True
+        return False
+
+    def outstanding(self) -> List[Ticket]:
+        """Tickets whose evaluations have not arrived yet."""
+        return [t for t in self.tickets if t not in self.results]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"={self.value!r}" if self.resolved else f" {len(self.results)}/{len(self.tickets)}"
+        return f"CallRecord({self.tickets}{state})"
+
+
+class Invocation:
+    """One activation of the recursive function hosted on a node."""
+
+    __slots__ = (
+        "inv_id",
+        "gen",
+        "reply",
+        "batch",
+        "waiting_sync",
+        "done",
+        "cancelled",
+    )
+
+    def __init__(
+        self,
+        inv_id: int,
+        gen: Generator[Any, Any, Any],
+        reply: Optional[ReplyHandle],
+    ) -> None:
+        self.inv_id = inv_id
+        self.gen = gen
+        #: where the final result goes (None = external/root invocation)
+        self.reply = reply
+        #: call records created since the last sync, in issue order
+        self.batch: List[CallRecord] = []
+        self.waiting_sync = False
+        self.done = False
+        self.cancelled = False
+
+    def batch_resolved(self) -> bool:
+        """True if every record in the current batch has a value."""
+        return all(rec.resolved for rec in self.batch)
+
+    def sync_value(self) -> Any:
+        """Value a pending :class:`~repro.recursion.ops.Sync` resumes with.
+
+        One record → its value; several → a tuple in issue order (matching
+        the paper's ``result1, result2 <- yield Sync()``); an empty batch
+        (sync with no preceding calls) → an empty tuple.
+        """
+        if len(self.batch) == 1:
+            return self.batch[0].value
+        return tuple(rec.value for rec in self.batch)
+
+    def outstanding_tickets(self) -> List[Ticket]:
+        """All unresolved tickets across the current batch."""
+        out: List[Ticket] = []
+        for rec in self.batch:
+            out.extend(rec.outstanding())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f
+            for f, on in (
+                ("W", self.waiting_sync),
+                ("D", self.done),
+                ("C", self.cancelled),
+            )
+            if on
+        )
+        return f"Invocation(#{self.inv_id}{' ' + flags if flags else ''})"

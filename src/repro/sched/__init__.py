@@ -1,0 +1,35 @@
+"""Layer 2 — node-level process scheduling (paper §III-A2).
+
+Public surface:
+
+* :class:`SchedulerProgram` — hosts process templates on every node.
+* :class:`Process` / :class:`FunctionalProcess` / :class:`ProcessContext` /
+  :class:`Address` — the process-level programming interface.
+* Scheduling policies: round-robin (default), priority, FIFO, random.
+"""
+
+from .policies import (
+    FifoPolicy,
+    PriorityPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from .process import Address, FunctionalProcess, Process, ProcessContext
+from .scheduler import Packet, SchedulerProgram
+
+__all__ = [
+    "SchedulerProgram",
+    "Packet",
+    "Process",
+    "FunctionalProcess",
+    "ProcessContext",
+    "Address",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "PriorityPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "make_policy",
+]

@@ -1,0 +1,212 @@
+"""Layer 2: the node-level process scheduler.
+
+:class:`SchedulerProgram` is a layer-1 :class:`~repro.netsim.NodeProgram`
+that hosts the same set of process templates on every node (SPMD style).
+It is responsible for "scheduling if processes are more numerous than
+hardware threads" (paper §III-A2):
+
+* network messages arriving at a node are demultiplexed to the addressed
+  process;
+* processes on one node exchange *local* messages without touching the
+  network;
+* when several processes have pending local messages, a
+  :class:`~repro.sched.policies.SchedulingPolicy` picks who runs, limited by
+  a per-step message ``budget`` (the preemption-granularity analogue).
+
+With the default ``budget=None`` every pending message is handled in the
+step it becomes deliverable (run-to-completion), which is what the solver
+stack uses; finite budgets exercise genuinely interleaved schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+from ..netsim import NodeContext
+from ..topology import NodeId
+from .policies import SchedulingPolicy
+from .process import Address, Process, ProcessContext
+
+__all__ = ["SchedulerProgram", "Packet"]
+
+
+class Packet:
+    """Wire format for inter-node process messages."""
+
+    __slots__ = ("dst_pid", "src_pid", "payload")
+
+    def __init__(self, dst_pid: int, src_pid: int, payload: Any) -> None:
+        self.dst_pid = dst_pid
+        self.src_pid = src_pid
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Packet(pid {self.src_pid}->{self.dst_pid}: {self.payload!r})"
+
+
+class _NodeSched:
+    """Per-node scheduler bookkeeping (stored in the layer-1 state slot)."""
+
+    __slots__ = (
+        "proc_ctxs",
+        "queues",
+        "policy",
+        "budget_step",
+        "budget_used",
+        "arrival_seq",
+        "poll_pending",
+    )
+
+    def __init__(self, proc_ctxs: List[ProcessContext], policy: SchedulingPolicy):
+        self.proc_ctxs = proc_ctxs
+        self.queues: Dict[int, Deque[Tuple[Optional[Address], Any, int]]] = {
+            ctx.pid: deque() for ctx in proc_ctxs
+        }
+        self.policy = policy
+        self.budget_step = -2  # step the budget counter refers to
+        self.budget_used = 0
+        self.arrival_seq = 0
+        self.poll_pending = False
+
+
+class SchedulerProgram:
+    """Host ``processes`` on every node of a machine.
+
+    Parameters
+    ----------
+    processes:
+        Process templates; the template at index *i* serves pid *i* on every
+        node.  Templates are shared objects — all per-node state must live
+        in ``ctx.state`` (the contexts are per ``(node, pid)``).
+    policy_factory:
+        Builds one fresh policy instance per node (policies are stateful).
+        Defaults to round-robin.
+    budget:
+        Max messages a node may process per step, or ``None`` for unlimited
+        (run-to-completion, the default).
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        policy_factory: Optional[Callable[[], SchedulingPolicy]] = None,
+        budget: Optional[int] = None,
+    ) -> None:
+        if not processes:
+            raise SchedulingError("scheduler needs at least one process template")
+        if budget is not None and budget < 1:
+            raise SchedulingError(f"budget must be >= 1 or None, got {budget}")
+        self._templates = list(processes)
+        if policy_factory is None:
+            from .policies import RoundRobinPolicy
+
+            policy_factory = RoundRobinPolicy
+        self._policy_factory = policy_factory
+        self._budget = budget
+
+    # -- layer-1 NodeProgram interface ----------------------------------
+
+    def init(self, ctx: NodeContext) -> None:
+        proc_ctxs: List[ProcessContext] = []
+        for pid in range(len(self._templates)):
+            addr = Address(ctx.node, pid)
+            pctx = ProcessContext(
+                addr, ctx.neighbours, self._make_send(ctx, addr), ctx
+            )
+            proc_ctxs.append(pctx)
+        ctx.state = _NodeSched(proc_ctxs, self._policy_factory())
+        for pid, template in enumerate(self._templates):
+            template.init(proc_ctxs[pid])
+
+    def on_message(self, ctx: NodeContext, sender: NodeId, payload: Any) -> None:
+        sched: _NodeSched = ctx.state
+        if isinstance(payload, Packet):
+            src = Address(sender, payload.src_pid) if sender >= 0 else None
+            self._enqueue(ctx, sched, payload.dst_pid, src, payload.payload)
+        else:
+            # Raw (kickstart) payloads go to pid 0 with no sender address.
+            self._enqueue(ctx, sched, 0, None, payload)
+        self._drain(ctx, sched)
+
+    def on_step(self, ctx: NodeContext) -> None:
+        sched: _NodeSched = ctx.state
+        sched.poll_pending = False
+        self._drain(ctx, sched)
+
+    # -- internals -------------------------------------------------------
+
+    def _make_send(self, node_ctx: NodeContext, src: Address):
+        def send(dst: Address, payload: Any) -> None:
+            dst = Address(*dst)
+            if dst.pid < 0 or dst.pid >= len(self._templates):
+                raise SchedulingError(f"no process with pid {dst.pid}")
+            if dst.node == src.node:
+                sched: _NodeSched = node_ctx.state
+                self._enqueue(node_ctx, sched, dst.pid, src, payload)
+                self._schedule_poll(node_ctx, sched)
+            else:
+                node_ctx.send(dst.node, Packet(dst.pid, src.pid, payload))
+
+        return send
+
+    def _enqueue(
+        self,
+        ctx: NodeContext,
+        sched: _NodeSched,
+        pid: int,
+        sender: Optional[Address],
+        payload: Any,
+    ) -> None:
+        queue = sched.queues.get(pid)
+        if queue is None:
+            raise SchedulingError(f"node {ctx.node} has no process {pid}")
+        queue.append((sender, payload, sched.arrival_seq))
+        sched.arrival_seq += 1
+
+    def _schedule_poll(self, ctx: NodeContext, sched: _NodeSched) -> None:
+        if not sched.poll_pending:
+            sched.poll_pending = True
+            ctx.machine.request_poll(ctx.node)
+
+    def _runnable(self, sched: _NodeSched) -> List[int]:
+        pids = [pid for pid, q in sched.queues.items() if q]
+        if getattr(sched.policy, "order_by_arrival", False):
+            pids.sort(key=lambda pid: sched.queues[pid][0][2])
+        else:
+            pids.sort()
+        return pids
+
+    def _drain(self, ctx: NodeContext, sched: _NodeSched) -> None:
+        step = ctx.step
+        if sched.budget_step != step:
+            sched.budget_step = step
+            sched.budget_used = 0
+        while True:
+            runnable = self._runnable(sched)
+            if not runnable:
+                return
+            if self._budget is not None and sched.budget_used >= self._budget:
+                # Out of budget: finish remaining work on a later step.
+                self._schedule_poll(ctx, sched)
+                return
+            pid = sched.policy.select(runnable)
+            sender, payload, _seq = sched.queues[pid].popleft()
+            sched.budget_used += 1
+            self._templates[pid].on_message(sched.proc_ctxs[pid], sender, payload)
+
+    # -- inspection helpers ----------------------------------------------
+
+    def process_state(self, machine: Any, node: NodeId, pid: int = 0) -> Any:
+        """Read the state of process ``pid`` on ``node`` of a machine."""
+        sched: _NodeSched = machine.state_of(node)
+        try:
+            return sched.proc_ctxs[pid].state
+        except IndexError as exc:
+            raise SchedulingError(f"no process {pid} on node {node}") from exc
+
+    @property
+    def n_processes(self) -> int:
+        """Number of process templates per node."""
+        return len(self._templates)

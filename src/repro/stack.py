@@ -1,0 +1,290 @@
+"""The assembled five-layer stack (the paper's core contribution).
+
+:class:`HyperspaceStack` wires the layers together:
+
+=====  =======================================  =========================
+layer  module                                   role
+=====  =======================================  =========================
+1      :class:`repro.netsim.Machine`            simulated message passing
+2      :class:`repro.sched.SchedulerProgram`    node-level scheduling
+3      :class:`repro.mapping.MappingService`    ticketed sends + mapping
+4      :class:`repro.recursion.RecursionEngine` continuations
+5      your generator function                  problem logic
+=====  =======================================  =========================
+
+and exposes the layer-5 experience: hand it a recursive generator function
+and an argument, get back the result plus a full profiling report::
+
+    from repro import HyperspaceStack, Torus
+    from repro.apps.sumrec import calculate_sum
+
+    stack = HyperspaceStack(Torus((8, 8)), mapper="lbn")
+    result, report = stack.run_recursive(calculate_sum, 10)
+
+Ticket-style (layer-3) applications run through :meth:`run_ticketed`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+from .errors import SimulationError
+from .mapping import (
+    MappedApp,
+    MapperFactory,
+    MappingService,
+    StatusPolicyFactory,
+    make_mapper_factory,
+    make_status_factory,
+)
+from .netsim import Machine, SimulationReport, TraceRecorder
+from .recursion import EngineStats, RecursionEngine, RecursiveFunction
+from .sched import SchedulerProgram
+from .topology import NodeId, Topology
+
+__all__ = ["HyperspaceStack", "StackRun"]
+
+#: mapper argument: a registry name ("rr", "lbn", "random", "hint") or factory
+MapperSpec = Union[str, MapperFactory]
+#: status argument: None/"off", an int threshold, or a policy factory
+StatusSpec = Union[None, str, int, StatusPolicyFactory]
+
+
+class StackRun:
+    """Everything observable about one completed stack run."""
+
+    __slots__ = ("machine", "report", "results", "engine_stats", "scheduler")
+
+    def __init__(
+        self,
+        machine: Machine,
+        report: SimulationReport,
+        results: List[Any],
+        engine_stats: Optional[EngineStats],
+        scheduler: SchedulerProgram,
+    ) -> None:
+        self.machine = machine
+        self.report = report
+        #: external results delivered at the trigger node (usually length 1)
+        self.results = results
+        #: aggregated layer-4 counters (None for ticket-style runs)
+        self.engine_stats = engine_stats
+        self.scheduler = scheduler
+
+    @property
+    def result(self) -> Any:
+        """The (single) root result, or None if the run did not finish."""
+        return self.results[0] if self.results else None
+
+
+class HyperspaceStack:
+    """A configured hyperspace machine ready to run combinatorial solvers.
+
+    Parameters
+    ----------
+    topology:
+        The machine's interconnect.
+    mapper:
+        Layer-3 mapping algorithm: ``"rr"`` (round robin, default),
+        ``"lbn"`` (least busy neighbour), ``"random"``, ``"hint"``, or a
+        custom per-node mapper factory.
+    status:
+        Explicit-status policy for adaptive mapping: ``None`` (piggyback
+        only), an integer broadcast threshold, or a factory.
+    cancellation:
+        Layer-4 extension: actively cancel losing speculative subtrees.
+    forward_hops:
+        Layer-3 extension: extra hops work travels before executing.
+    share_threshold:
+        Layer-3 work-sharing extension (paper Figure 2's "work
+        sharing/stealing"): a node already holding at least this many live
+        invocations pushes newly arriving work onward to a mapper-chosen
+        neighbour instead of executing it.  ``None`` (default) disables
+        sharing.  The load metric is selected by ``share_load``:
+        ``"queue"`` (default, inbox backlog) or ``"invocations"``.
+    seed:
+        Master seed for all per-node random streams.
+    scheduler_budget:
+        Max messages a node handles per step (None = run to completion).
+    queue_policy / queue_capacity:
+        Layer-1 inbox configuration (defaults: unbounded FIFO, as in the
+        paper).
+    record_queue_depths:
+        Store the per-step per-node queue-depth matrix (needed only for
+        fine-grained unfolding analyses; costs O(n_nodes) per step).
+    size_fn:
+        Optional layer-1 message-size model for bandwidth accounting
+        (see :mod:`repro.netsim.sizing`).
+    latency:
+        Optional layer-1 per-link latency: an int or ``f(src, dst) -> int``
+        — e.g. :func:`repro.topology.embedding_latency` to run this
+        topology virtualised on a host machine.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        mapper: MapperSpec = "rr",
+        status: StatusSpec = None,
+        cancellation: bool = False,
+        forward_hops: int = 0,
+        share_threshold: Optional[int] = None,
+        share_load: str = "queue",
+        seed: int = 0,
+        scheduler_budget: Optional[int] = None,
+        queue_policy: str = "fifo",
+        queue_capacity: Optional[int] = None,
+        record_queue_depths: bool = False,
+        size_fn=None,
+        latency=0,
+    ) -> None:
+        self.topology = topology
+        self.mapper_factory: MapperFactory = (
+            make_mapper_factory(mapper) if isinstance(mapper, str) else mapper
+        )
+        if status is None or isinstance(status, (str, int)):
+            self.status_factory: StatusPolicyFactory = make_status_factory(status)
+        else:
+            self.status_factory = status
+        self.cancellation = cancellation
+        self.forward_hops = forward_hops
+        self.share_threshold = share_threshold
+        if share_load not in ("queue", "invocations"):
+            raise ValueError(f"share_load must be 'queue' or 'invocations', got {share_load!r}")
+        self.share_load = share_load
+        self.seed = seed
+        self.scheduler_budget = scheduler_budget
+        self.queue_policy = queue_policy
+        self.queue_capacity = queue_capacity
+        self.record_queue_depths = record_queue_depths
+        self.size_fn = size_fn
+        self.latency = latency
+        #: populated by the most recent run_* call
+        self.last_run: Optional[StackRun] = None
+
+    # ------------------------------------------------------------------
+
+    def _build(
+        self,
+        app: MappedApp,
+        halt_on_result: bool,
+        load_fn=None,
+    ) -> Tuple[Machine, SchedulerProgram, MappingService]:
+        service = MappingService(
+            app,
+            self.mapper_factory,
+            self.status_factory,
+            seed=self.seed,
+            forward_hops=self.forward_hops,
+            halt_on_result=halt_on_result,
+            share_threshold=self.share_threshold,
+            load_fn=load_fn if self.share_threshold is not None else None,
+        )
+        scheduler = SchedulerProgram([service], budget=self.scheduler_budget)
+        trace = TraceRecorder(
+            self.topology.n_nodes, record_queue_depths=self.record_queue_depths
+        )
+        machine = Machine(
+            self.topology,
+            scheduler,
+            trace=trace,
+            queue_policy=self.queue_policy,
+            queue_capacity=self.queue_capacity,
+            seed=self.seed,
+            size_fn=self.size_fn,
+            latency=self.latency,
+        )
+        return machine, scheduler, service
+
+    def _collect(
+        self,
+        machine: Machine,
+        scheduler: SchedulerProgram,
+        trigger_node: NodeId,
+        engine: Optional[RecursionEngine],
+    ) -> StackRun:
+        state = scheduler.process_state(machine, trigger_node)
+        results = list(MappingService.results_of(state))
+        engine_stats: Optional[EngineStats] = None
+        if engine is not None:
+            engine_stats = EngineStats()
+            for node in self.topology.nodes():
+                node_state = scheduler.process_state(machine, node)
+                engine_stats.merge(
+                    RecursionEngine.stats_of(MappingService.app_state_of(node_state))
+                )
+        run = StackRun(machine, machine.report(), results, engine_stats, scheduler)
+        self.last_run = run
+        return run
+
+    # ------------------------------------------------------------------
+
+    def run_recursive(
+        self,
+        fn: RecursiveFunction,
+        args: Any,
+        *,
+        trigger_node: NodeId = 0,
+        max_steps: int = 1_000_000,
+        strict: bool = True,
+        halt_on_result: bool = True,
+    ) -> Tuple[Any, SimulationReport]:
+        """Run a layer-5 recursive application to completion.
+
+        ``fn(args)`` becomes the root invocation on ``trigger_node``.  With
+        ``halt_on_result`` (default) the machine stops as soon as the root
+        result is delivered; with ``halt_on_result=False`` it keeps running
+        until quiescent — draining ignored speculative work, which is the
+        paper's measurement protocol ("steps between the first (trigger)
+        and last messages").  Returns ``(result, report)``; the full
+        :class:`StackRun` (engine statistics, machine handle) is available
+        as :attr:`last_run`.
+
+        With ``strict`` (default) a run that exhausts ``max_steps`` without
+        producing the root result raises :class:`SimulationError`; pass
+        ``strict=False`` to get ``(None, report)`` instead.
+        """
+        engine = RecursionEngine(fn, cancellation=self.cancellation)
+        from .mapping import queue_depth_load
+
+        load_fn = (
+            queue_depth_load
+            if self.share_load == "queue"
+            else RecursionEngine.load_probe
+        )
+        machine, scheduler, _service = self._build(
+            engine, halt_on_result=halt_on_result, load_fn=load_fn
+        )
+        machine.inject(trigger_node, args)
+        report = machine.run(max_steps=max_steps)
+        run = self._collect(machine, scheduler, trigger_node, engine)
+        if strict and not run.results:
+            raise SimulationError(
+                f"run did not complete within {max_steps} steps "
+                f"(topology {self.topology.describe()}, fn "
+                f"{getattr(fn, '__name__', fn)!r})"
+            )
+        return run.result, run.report
+
+    def run_ticketed(
+        self,
+        app: MappedApp,
+        trigger: Any,
+        *,
+        trigger_node: NodeId = 0,
+        max_steps: int = 1_000_000,
+        halt_on_result: bool = False,
+    ) -> Tuple[List[Any], SimulationReport]:
+        """Run a layer-3 (ticket-style) application.
+
+        The raw ``trigger`` payload is injected at ``trigger_node`` and the
+        machine runs until quiescent (or until the first external result if
+        ``halt_on_result``).  Returns ``(results, report)`` where results
+        are the external replies collected at the trigger node.
+        """
+        machine, scheduler, _service = self._build(app, halt_on_result=halt_on_result)
+        machine.inject(trigger_node, trigger)
+        machine.run(max_steps=max_steps)
+        run = self._collect(machine, scheduler, trigger_node, engine=None)
+        return run.results, run.report

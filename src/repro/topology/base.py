@@ -1,0 +1,201 @@
+"""Topology abstraction for hyperspace machines.
+
+A :class:`Topology` describes the static interconnect of a simulated machine:
+how many nodes exist, which pairs are adjacent, and (for mesh-like networks)
+how node indices map to coordinates in the embedding space.
+
+Nodes are identified by dense integer ids ``0 .. n_nodes-1`` throughout the
+stack; coordinates are a per-topology concept used for construction,
+visualisation (heatmaps in Figure 5) and distance computations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import TopologyError
+
+__all__ = ["Topology", "NodeId", "Coord"]
+
+NodeId = int
+Coord = Tuple[int, ...]
+
+
+class Topology(ABC):
+    """Abstract base class for machine interconnect topologies.
+
+    Subclasses must provide :attr:`n_nodes` and :meth:`neighbours`.  All other
+    queries (distance, diameter, degree statistics, path finding) have generic
+    BFS-based implementations which concrete topologies may override with
+    closed forms.
+    """
+
+    #: short machine-readable kind tag, e.g. ``"torus"``; set by subclasses.
+    kind: str = "abstract"
+
+    @property
+    @abstractmethod
+    def n_nodes(self) -> int:
+        """Total number of nodes in the machine."""
+
+    @abstractmethod
+    def neighbours(self, node: NodeId) -> Sequence[NodeId]:
+        """Return the ordered tuple of nodes adjacent to ``node``.
+
+        The order is deterministic and significant: the round-robin mapper
+        cycles destinations in exactly this order.
+        """
+
+    # ------------------------------------------------------------------
+    # Generic helpers
+    # ------------------------------------------------------------------
+
+    def check_node(self, node: NodeId) -> None:
+        """Raise :class:`TopologyError` unless ``node`` is a valid id."""
+        if not isinstance(node, int) or not (0 <= node < self.n_nodes):
+            raise TopologyError(
+                f"node id {node!r} out of range for {self!r} "
+                f"(expected 0 <= id < {self.n_nodes})"
+            )
+
+    def nodes(self) -> range:
+        """Iterate over all node ids."""
+        return range(self.n_nodes)
+
+    def degree(self, node: NodeId) -> int:
+        """Number of neighbours of ``node``."""
+        return len(self.neighbours(node))
+
+    def is_adjacent(self, a: NodeId, b: NodeId) -> bool:
+        """True if ``b`` is a neighbour of ``a``."""
+        return b in self.neighbours(a)
+
+    def edges(self) -> Iterable[Tuple[NodeId, NodeId]]:
+        """Yield each undirected edge exactly once as ``(min, max)``."""
+        for a in self.nodes():
+            for b in self.neighbours(a):
+                if a < b:
+                    yield (a, b)
+
+    def n_links(self) -> int:
+        """Number of undirected links in the machine."""
+        return sum(1 for _ in self.edges())
+
+    def distance(self, a: NodeId, b: NodeId) -> int:
+        """Hop distance between two nodes (generic BFS; often overridden)."""
+        self.check_node(a)
+        self.check_node(b)
+        if a == b:
+            return 0
+        dist = self._bfs_distances(a, stop_at=b)
+        d = dist.get(b)
+        if d is None:
+            raise TopologyError(f"nodes {a} and {b} are disconnected in {self!r}")
+        return d
+
+    def _bfs_distances(
+        self, source: NodeId, stop_at: NodeId | None = None
+    ) -> Dict[NodeId, int]:
+        """Breadth-first distances from ``source`` (early exit at ``stop_at``)."""
+        dist: Dict[NodeId, int] = {source: 0}
+        frontier: deque[NodeId] = deque([source])
+        while frontier:
+            cur = frontier.popleft()
+            if stop_at is not None and cur == stop_at:
+                return dist
+            d = dist[cur] + 1
+            for nxt in self.neighbours(cur):
+                if nxt not in dist:
+                    dist[nxt] = d
+                    frontier.append(nxt)
+        return dist
+
+    def shortest_path(self, a: NodeId, b: NodeId) -> List[NodeId]:
+        """One shortest path from ``a`` to ``b`` inclusive (BFS parents)."""
+        self.check_node(a)
+        self.check_node(b)
+        if a == b:
+            return [a]
+        parent: Dict[NodeId, NodeId] = {a: a}
+        frontier: deque[NodeId] = deque([a])
+        while frontier:
+            cur = frontier.popleft()
+            for nxt in self.neighbours(cur):
+                if nxt not in parent:
+                    parent[nxt] = cur
+                    if nxt == b:
+                        path = [b]
+                        while path[-1] != a:
+                            path.append(parent[path[-1]])
+                        path.reverse()
+                        return path
+                    frontier.append(nxt)
+        raise TopologyError(f"nodes {a} and {b} are disconnected in {self!r}")
+
+    def diameter(self) -> int:
+        """Maximum hop distance between any node pair (generic: all-pairs BFS)."""
+        best = 0
+        for a in self.nodes():
+            dist = self._bfs_distances(a)
+            if len(dist) != self.n_nodes:
+                raise TopologyError(f"{self!r} is disconnected")
+            best = max(best, max(dist.values()))
+        return best
+
+    def is_connected(self) -> bool:
+        """True if every node is reachable from node 0."""
+        if self.n_nodes == 0:
+            return True
+        return len(self._bfs_distances(0)) == self.n_nodes
+
+    def is_node_symmetric(self) -> bool:
+        """Cheap necessary condition for node symmetry: uniform degree."""
+        if self.n_nodes == 0:
+            return True
+        d0 = self.degree(0)
+        return all(self.degree(n) == d0 for n in self.nodes())
+
+    # ------------------------------------------------------------------
+    # Coordinates (optional; meshes override)
+    # ------------------------------------------------------------------
+
+    def coords(self, node: NodeId) -> Coord:
+        """Coordinates of ``node`` in the embedding space.
+
+        The default treats the machine as one-dimensional.
+        """
+        self.check_node(node)
+        return (node,)
+
+    def node_at(self, coord: Coord) -> NodeId:
+        """Inverse of :meth:`coords`."""
+        if len(coord) != 1:
+            raise TopologyError(f"{self!r} uses 1-d coordinates, got {coord!r}")
+        node = coord[0]
+        self.check_node(node)
+        return node
+
+    @property
+    def shape(self) -> Coord:
+        """Extent along each coordinate axis (default: 1-d line)."""
+        return (self.n_nodes,)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def adjacency_lists(self) -> List[Tuple[NodeId, ...]]:
+        """Materialised neighbour lists for all nodes (index = node id)."""
+        return [tuple(self.neighbours(n)) for n in self.nodes()]
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in benchmark reports."""
+        return f"{self.kind}(n={self.n_nodes})"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+    def __len__(self) -> int:
+        return self.n_nodes

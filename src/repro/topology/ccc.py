@@ -1,0 +1,93 @@
+"""Cube-connected cycles (CCC) — the bounded-degree hypercube relative.
+
+CCC(d) replaces each vertex of a d-dimensional hypercube with a d-cycle;
+cycle position *i* of cube vertex *v* connects to (a) its cycle neighbours
+and (b) position *i* of the cube vertex ``v ^ (1 << i)``.  The result keeps
+the hypercube's logarithmic diameter while bounding every node's degree at
+3 — the constant-fan-out property real machines (like the transputer's four
+links, paper Figure 1A) need that pure hypercubes lack at scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import TopologyError
+from .base import Coord, NodeId, Topology
+
+__all__ = ["CubeConnectedCycles"]
+
+
+class CubeConnectedCycles(Topology):
+    """CCC(d): ``d * 2**d`` nodes of degree 3 (degree 2 for d < 3).
+
+    Node ids are ``cube_vertex * d + cycle_position``; coordinates are the
+    ``(cycle_position, *address_bits)`` tuples.
+    """
+
+    kind = "ccc"
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise TopologyError(f"CCC dimension must be >= 1, got {dimension}")
+        if dimension > 16:
+            raise TopologyError(
+                f"CCC({dimension}) would have {dimension * 2**dimension} nodes; refusing"
+            )
+        self._dim = int(dimension)
+        self._n = self._dim * (1 << self._dim)
+        d = self._dim
+        neigh: List[Tuple[NodeId, ...]] = []
+        for node in range(self._n):
+            vertex, pos = divmod(node, d)
+            out: List[NodeId] = []
+            if d > 1:
+                down = vertex * d + (pos - 1) % d
+                up = vertex * d + (pos + 1) % d
+                out.append(down)
+                if up != down:
+                    out.append(up)
+            out.append((vertex ^ (1 << pos)) * d + pos)
+            neigh.append(tuple(out))
+        self._neigh = neigh
+
+    @property
+    def dimension(self) -> int:
+        """Underlying hypercube dimension (= cycle length)."""
+        return self._dim
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbours(self, node: NodeId) -> Sequence[NodeId]:
+        self.check_node(node)
+        return self._neigh[node]
+
+    def coords(self, node: NodeId) -> Coord:
+        self.check_node(node)
+        vertex, pos = divmod(node, self._dim)
+        bits = tuple((vertex >> (self._dim - 1 - i)) & 1 for i in range(self._dim))
+        return (pos,) + bits
+
+    def node_at(self, coord: Coord) -> NodeId:
+        if len(coord) != self._dim + 1:
+            raise TopologyError(
+                f"CCC({self._dim}) coordinates are (pos, {self._dim} bits), got {coord!r}"
+            )
+        pos = coord[0]
+        if not (0 <= pos < self._dim):
+            raise TopologyError(f"cycle position {pos} out of range")
+        vertex = 0
+        for bit in coord[1:]:
+            if bit not in (0, 1):
+                raise TopologyError(f"address bits must be 0/1, got {coord!r}")
+            vertex = (vertex << 1) | bit
+        return vertex * self._dim + pos
+
+    @property
+    def shape(self) -> Coord:
+        return (self._dim,) + tuple(2 for _ in range(self._dim))
+
+    def describe(self) -> str:
+        return f"ccc({self._dim}, n={self._n})"

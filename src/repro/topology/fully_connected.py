@@ -1,0 +1,103 @@
+"""Fully connected and star topologies.
+
+The paper's Figure 4 uses a fully connected machine (every core adjacent to
+every other core) as the scalability upper-bound baseline.  The star topology
+is provided as a pathological contrast for tests and ablations: a hub node
+adjacent to all leaves, with leaves adjacent only to the hub.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import TopologyError
+from .base import NodeId, Topology
+
+__all__ = ["FullyConnected", "Star"]
+
+
+class FullyConnected(Topology):
+    """Complete graph on ``n`` nodes — the paper's baseline machine."""
+
+    kind = "full"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise TopologyError(f"fully connected machine needs >= 1 node, got {n}")
+        self._n = int(n)
+        # Neighbour tuples are O(n) each; build lazily and cache per node to
+        # keep construction of large baselines cheap when only a few nodes
+        # ever send.
+        self._cache: dict[NodeId, Tuple[NodeId, ...]] = {}
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbours(self, node: NodeId) -> Sequence[NodeId]:
+        """All other nodes, rotated to start just after ``node``.
+
+        The rotation keeps the machine node-symmetric under order-sensitive
+        mappers: round-robin from any node starts at its successor instead
+        of funnelling every first subcall to node 0.
+        """
+        self.check_node(node)
+        cached = self._cache.get(node)
+        if cached is None:
+            cached = tuple((node + 1 + i) % self._n for i in range(self._n - 1))
+            self._cache[node] = cached
+        return cached
+
+    def is_adjacent(self, a: NodeId, b: NodeId) -> bool:
+        self.check_node(a)
+        self.check_node(b)
+        return a != b
+
+    def distance(self, a: NodeId, b: NodeId) -> int:
+        self.check_node(a)
+        self.check_node(b)
+        return 0 if a == b else 1
+
+    def diameter(self) -> int:
+        return 0 if self._n == 1 else 1
+
+    def n_links(self) -> int:
+        return self._n * (self._n - 1) // 2
+
+    def describe(self) -> str:
+        return f"full({self._n})"
+
+
+class Star(Topology):
+    """Hub-and-spoke graph: node 0 is adjacent to all others."""
+
+    kind = "star"
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise TopologyError(f"star needs >= 2 nodes, got {n}")
+        self._n = int(n)
+        self._hub_neigh = tuple(range(1, self._n))
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def neighbours(self, node: NodeId) -> Sequence[NodeId]:
+        self.check_node(node)
+        if node == 0:
+            return self._hub_neigh
+        return (0,)
+
+    def distance(self, a: NodeId, b: NodeId) -> int:
+        self.check_node(a)
+        self.check_node(b)
+        if a == b:
+            return 0
+        return 1 if 0 in (a, b) else 2
+
+    def diameter(self) -> int:
+        return 2
+
+    def describe(self) -> str:
+        return f"star({self._n})"

@@ -1,0 +1,204 @@
+"""k-ary n-cube topologies: tori and open grids.
+
+The paper's evaluation machines are 2- and 3-dimensional hyper-tori
+("the core mesh is arranged as a torus", Figure 1C).  A :class:`Torus` with
+``dims=(k, k)`` is the classic 2D torus; ``dims=(k, k, k)`` the 3D one.
+:class:`Grid` is the same mesh without wrap-around links (the transputer
+array of Figure 1A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import TopologyError
+from .base import Coord, NodeId, Topology
+
+__all__ = ["Torus", "Grid", "Ring", "Line"]
+
+
+def _check_dims(dims: Sequence[int]) -> Tuple[int, ...]:
+    dims = tuple(int(d) for d in dims)
+    if not dims:
+        raise TopologyError("topology needs at least one dimension")
+    if any(d < 1 for d in dims):
+        raise TopologyError(f"all extents must be >= 1, got {dims}")
+    return dims
+
+
+class _MeshBase(Topology):
+    """Shared coordinate arithmetic for row-major tori and grids."""
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        self._dims = _check_dims(dims)
+        self._n = 1
+        for d in self._dims:
+            self._n *= d
+        # row-major strides: last axis varies fastest
+        strides: List[int] = []
+        acc = 1
+        for d in reversed(self._dims):
+            strides.append(acc)
+            acc *= d
+        self._strides = tuple(reversed(strides))
+        self._neigh: List[Tuple[NodeId, ...]] = self._build_neighbours()
+
+    # -- coordinates ---------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def shape(self) -> Coord:
+        return self._dims
+
+    @property
+    def ndim(self) -> int:
+        """Number of mesh dimensions."""
+        return len(self._dims)
+
+    def coords(self, node: NodeId) -> Coord:
+        self.check_node(node)
+        out = []
+        for d, s in zip(self._dims, self._strides):
+            out.append((node // s) % d)
+        return tuple(out)
+
+    def node_at(self, coord: Coord) -> NodeId:
+        if len(coord) != len(self._dims):
+            raise TopologyError(
+                f"expected {len(self._dims)}-d coordinate, got {coord!r}"
+            )
+        node = 0
+        for c, d, s in zip(coord, self._dims, self._strides):
+            if not (0 <= c < d):
+                raise TopologyError(f"coordinate {coord!r} out of bounds {self._dims}")
+            node += c * s
+        return node
+
+    def neighbours(self, node: NodeId) -> Sequence[NodeId]:
+        self.check_node(node)
+        return self._neigh[node]
+
+    # -- subclass hooks --------------------------------------------------
+
+    def _build_neighbours(self) -> List[Tuple[NodeId, ...]]:
+        raise NotImplementedError
+
+
+class Torus(_MeshBase):
+    """n-dimensional torus (k-ary n-cube) with wrap-around links.
+
+    Neighbour order per node: for each axis in order, the ``-1`` neighbour
+    then the ``+1`` neighbour.  Axes with extent 1 contribute no links;
+    axes with extent 2 contribute a single link (the wrap link coincides
+    with the direct one and is deduplicated).
+
+    Parameters
+    ----------
+    dims:
+        Extent along each axis, e.g. ``(14, 14)`` for the 196-core 2D torus
+        used in the paper's Figure 5.
+    """
+
+    kind = "torus"
+
+    def _build_neighbours(self) -> List[Tuple[NodeId, ...]]:
+        neigh: List[Tuple[NodeId, ...]] = []
+        for node in range(self._n):
+            coord = []
+            rem = node
+            for d, s in zip(self._dims, self._strides):
+                coord.append((rem // s) % d)
+            out: List[NodeId] = []
+            for axis, (d, s) in enumerate(zip(self._dims, self._strides)):
+                if d == 1:
+                    continue
+                c = coord[axis]
+                down = node + ((c - 1) % d - c) * s
+                up = node + ((c + 1) % d - c) * s
+                out.append(down)
+                if up != down:
+                    out.append(up)
+            neigh.append(tuple(out))
+        return neigh
+
+    def distance(self, a: NodeId, b: NodeId) -> int:
+        """Closed-form torus distance: per-axis wrapped L1."""
+        ca, cb = self.coords(a), self.coords(b)
+        total = 0
+        for xa, xb, d in zip(ca, cb, self._dims):
+            delta = abs(xa - xb)
+            total += min(delta, d - delta)
+        return total
+
+    def diameter(self) -> int:
+        return sum(d // 2 for d in self._dims)
+
+    def describe(self) -> str:
+        dims = "x".join(str(d) for d in self._dims)
+        return f"torus{len(self._dims)}d({dims})"
+
+
+class Grid(_MeshBase):
+    """n-dimensional open grid (mesh without wrap-around links)."""
+
+    kind = "grid"
+
+    def _build_neighbours(self) -> List[Tuple[NodeId, ...]]:
+        neigh: List[Tuple[NodeId, ...]] = []
+        for node in range(self._n):
+            coord = []
+            rem = node
+            for d, s in zip(self._dims, self._strides):
+                coord.append((rem // s) % d)
+            out: List[NodeId] = []
+            for axis, (d, s) in enumerate(zip(self._dims, self._strides)):
+                c = coord[axis]
+                if c - 1 >= 0:
+                    out.append(node - s)
+                if c + 1 < d:
+                    out.append(node + s)
+            neigh.append(tuple(out))
+        return neigh
+
+    def distance(self, a: NodeId, b: NodeId) -> int:
+        """Closed-form grid distance: plain L1 between coordinates."""
+        ca, cb = self.coords(a), self.coords(b)
+        return sum(abs(xa - xb) for xa, xb in zip(ca, cb))
+
+    def diameter(self) -> int:
+        return sum(d - 1 for d in self._dims)
+
+    def describe(self) -> str:
+        dims = "x".join(str(d) for d in self._dims)
+        return f"grid{len(self._dims)}d({dims})"
+
+
+class Ring(Torus):
+    """1-dimensional torus: ``n`` nodes in a cycle."""
+
+    kind = "ring"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise TopologyError(f"ring needs >= 1 node, got {n}")
+        super().__init__((n,))
+
+    def describe(self) -> str:
+        return f"ring({self.n_nodes})"
+
+
+class Line(Grid):
+    """1-dimensional open grid: ``n`` nodes in a path."""
+
+    kind = "line"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise TopologyError(f"line needs >= 1 node, got {n}")
+        super().__init__((n,))
+
+    def describe(self) -> str:
+        return f"line({self.n_nodes})"

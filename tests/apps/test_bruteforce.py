@@ -1,0 +1,54 @@
+"""Tests for the brute-force SAT reference."""
+
+import pytest
+
+from repro.apps.sat import CNF, all_models, brute_force_count, brute_force_solve
+from repro.errors import ApplicationError
+
+
+class TestBruteForceSolve:
+    def test_sat(self, tiny_cnf):
+        model = brute_force_solve(tiny_cnf)
+        assert model is not None
+        assert tiny_cnf.is_satisfied_by(model)
+
+    def test_unsat(self, unsat_cnf):
+        assert brute_force_solve(unsat_cnf) is None
+
+    def test_empty_formula(self):
+        assert brute_force_solve(CNF([])) == {}
+
+    def test_size_limit(self):
+        big = CNF([(25,)], num_vars=25)
+        with pytest.raises(ApplicationError):
+            brute_force_solve(big)
+
+
+class TestBruteForceCount:
+    def test_tautology_counts_all(self):
+        cnf = CNF([(1, -1)], num_vars=1)
+        assert brute_force_count(cnf) == 2
+
+    def test_unique_model(self, tiny_cnf):
+        # x1 & ~x2 & (x2|x3) forces x1=T, x2=F, x3=T
+        assert brute_force_count(tiny_cnf) == 1
+
+    def test_unsat_counts_zero(self, unsat_cnf):
+        assert brute_force_count(unsat_cnf) == 0
+
+    def test_free_variable_doubles_count(self):
+        constrained = CNF([(1,)], num_vars=1)
+        with_free = CNF([(1,)], num_vars=2)
+        assert brute_force_count(with_free) == 2 * brute_force_count(constrained)
+
+
+class TestAllModels:
+    def test_models_all_satisfy(self):
+        cnf = CNF([(1, 2)], num_vars=2)
+        models = all_models(cnf)
+        assert len(models) == 3
+        for m in models:
+            assert cnf.is_satisfied_by(m)
+
+    def test_count_consistency(self, tiny_cnf):
+        assert len(all_models(tiny_cnf)) == brute_force_count(tiny_cnf)

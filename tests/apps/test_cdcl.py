@@ -1,0 +1,134 @@
+"""Tests for the CDCL reference solver (the paper's §V-B contrast)."""
+
+import random
+
+import pytest
+
+from repro.apps.sat import (
+    CNF,
+    brute_force_solve,
+    dpll_solve,
+    uf20_91_suite,
+    uniform_random_ksat,
+)
+from repro.apps.sat.cdcl import CdclResult, cdcl_solve, luby
+from repro.errors import ApplicationError
+
+
+class TestLuby:
+    def test_sequence_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_powers_of_two_at_complete_blocks(self):
+        for k in range(1, 8):
+            assert luby(2**k - 1) == 2 ** (k - 1)
+
+    def test_invalid_index(self):
+        with pytest.raises(ApplicationError):
+            luby(0)
+
+
+class TestBasicVerdicts:
+    def test_empty_formula_sat(self):
+        assert cdcl_solve(CNF([])).satisfiable
+
+    def test_empty_clause_unsat(self):
+        assert not cdcl_solve(CNF([()])).satisfiable
+
+    def test_single_unit(self):
+        res = cdcl_solve(CNF([(3,)], num_vars=3))
+        assert res.satisfiable
+        assert res.assignment[3] is True
+
+    def test_contradiction(self):
+        assert not cdcl_solve(CNF([(1,), (-1,)])).satisfiable
+
+    def test_model_is_total(self, tiny_cnf):
+        res = cdcl_solve(tiny_cnf)
+        assert res.satisfiable
+        assert set(res.assignment) == {1, 2, 3}
+        assert tiny_cnf.is_satisfied_by(res.assignment)
+
+    def test_bool_protocol(self, tiny_cnf, unsat_cnf):
+        assert cdcl_solve(tiny_cnf)
+        assert not cdcl_solve(unsat_cnf)
+
+    def test_invalid_restart_base(self, tiny_cnf):
+        with pytest.raises(ApplicationError):
+            cdcl_solve(tiny_cnf, restart_base=0)
+
+
+class TestAgainstReferences:
+    def test_matches_brute_force_randomized(self):
+        rng = random.Random(17)
+        for _ in range(40):
+            cnf = uniform_random_ksat(8, rng.randint(10, 60), 3, rng)
+            expected = brute_force_solve(cnf) is not None
+            res = cdcl_solve(cnf)
+            assert res.satisfiable == expected
+            if res.satisfiable:
+                assert cnf.is_satisfied_by(res.assignment)
+
+    def test_matches_dpll_on_uf20(self, small_sat_suite):
+        for cnf in small_sat_suite:
+            assert cdcl_solve(cnf).satisfiable == dpll_solve(cnf).satisfiable
+
+    def test_hard_unsat_exhaustive_clauses(self):
+        clauses = [
+            (s1 * 1, s2 * 2, s3 * 3)
+            for s1 in (1, -1)
+            for s2 in (1, -1)
+            for s3 in (1, -1)
+        ]
+        res = cdcl_solve(CNF(clauses))
+        assert not res.satisfiable
+        assert res.stats.conflicts >= 1
+        assert res.stats.learned_clauses >= 1
+
+    def test_learning_and_backjumping_happen(self):
+        # a formula engineered to force a conflict below the first decision
+        rng = random.Random(5)
+        found = False
+        for _ in range(30):
+            cnf = uniform_random_ksat(10, 55, 3, rng)
+            res = cdcl_solve(cnf)
+            if res.stats.learned_clauses > 0:
+                found = True
+                assert res.stats.conflicts >= res.stats.learned_clauses
+                break
+        assert found
+
+    def test_restarts_with_tiny_base(self):
+        rng = random.Random(9)
+        # UNSAT-ish dense instance + restart_base=1 triggers restarts quickly
+        for _ in range(20):
+            cnf = uniform_random_ksat(8, 70, 3, rng)
+            res = cdcl_solve(cnf, restart_base=1)
+            expected = brute_force_solve(cnf) is not None
+            assert res.satisfiable == expected
+            if res.stats.restarts > 0:
+                return
+        pytest.skip("no instance triggered a restart (unlikely)")
+
+
+class TestStats:
+    def test_as_dict_keys(self, tiny_cnf):
+        d = cdcl_solve(tiny_cnf).stats.as_dict()
+        assert set(d) == {
+            "decisions",
+            "propagations",
+            "conflicts",
+            "learned_clauses",
+            "restarts",
+            "max_backjump",
+        }
+
+    def test_cdcl_explores_less_than_barebone_dpll(self):
+        # the point of §V-B's contrast: learning prunes harder.  Compare
+        # decision counts on the uf20 suite (aggregate, to smooth variance).
+        suite = uf20_91_suite(5, seed=23)
+        dpll_total = sum(dpll_solve(c, heuristic="first").stats.branches for c in suite)
+        cdcl_total = sum(cdcl_solve(c).stats.decisions for c in suite)
+        assert cdcl_total < dpll_total

@@ -1,0 +1,99 @@
+"""Tests for DIMACS CNF parsing and serialisation."""
+
+import pytest
+
+from repro.apps.sat import CNF, load_dimacs, parse_dimacs, save_dimacs, to_dimacs
+from repro.errors import DimacsFormatError
+
+BASIC = """\
+c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        cnf = parse_dimacs(BASIC)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == ((1, -2), (2, 3))
+
+    def test_comments_ignored(self):
+        cnf = parse_dimacs("c x\nc y\np cnf 1 1\n1 0\n")
+        assert cnf.num_clauses == 1
+
+    def test_clause_spanning_lines(self):
+        cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == ((1, 2, 3),)
+
+    def test_multiple_clauses_one_line(self):
+        cnf = parse_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert cnf.clauses == ((1,), (-2,))
+
+    def test_satlib_trailer_tolerated(self):
+        cnf = parse_dimacs("p cnf 1 1\n1 0\n%\n0\n")
+        assert cnf.num_clauses == 1
+
+    def test_blank_lines_ignored(self):
+        cnf = parse_dimacs("\np cnf 1 1\n\n1 0\n\n")
+        assert cnf.num_clauses == 1
+
+    def test_missing_problem_line(self):
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("1 0\n")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("p sat 1 1\n1 0\n")
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("p cnf one two\n1 0\n")
+
+    def test_negative_counts(self):
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("p cnf -1 0\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_unterminated_clause(self):
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("p cnf 1 2\n1 0\n")
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(DimacsFormatError):
+            parse_dimacs("p cnf 1 1\n5 0\n")
+
+
+class TestSerialise:
+    def test_to_dimacs_roundtrip(self):
+        cnf = CNF([(1, -2), (3,)], num_vars=4)
+        again = parse_dimacs(to_dimacs(cnf))
+        assert again == cnf
+
+    def test_comments_included(self):
+        text = to_dimacs(CNF([(1,)]), comments=["generated for tests"])
+        assert "c generated for tests" in text
+
+    def test_file_roundtrip(self, tmp_path):
+        cnf = CNF([(1, 2, -3), (-1,)], num_vars=3)
+        path = tmp_path / "problem.cnf"
+        save_dimacs(cnf, path, comments=["hello"])
+        assert load_dimacs(path) == cnf
+
+    def test_roundtrip_generated_instances(self, small_sat_suite):
+        for cnf in small_sat_suite:
+            assert parse_dimacs(to_dimacs(cnf)) == cnf
+
+    def test_empty_formula(self):
+        cnf = CNF([], num_vars=0)
+        assert parse_dimacs(to_dimacs(cnf)) == cnf

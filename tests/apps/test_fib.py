@@ -1,0 +1,57 @@
+"""Tests for the fork-join Fibonacci application."""
+
+import pytest
+
+from repro import HyperspaceStack
+from repro.apps.fib import fib, fib_hinted, sequential_fib
+from repro.topology import Ring, Torus
+
+
+class TestSequentialFib:
+    def test_base_cases(self):
+        assert sequential_fib(0) == 0
+        assert sequential_fib(1) == 1
+
+    def test_known_values(self):
+        assert [sequential_fib(n) for n in range(10)] == [
+            0, 1, 1, 2, 3, 5, 8, 13, 21, 34,
+        ]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_fib(-1)
+
+
+class TestDistributedFib:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 12])
+    def test_matches_sequential(self, n):
+        stack = HyperspaceStack(Torus((5, 5)))
+        result, _ = stack.run_recursive(fib, n)
+        assert result == sequential_fib(n)
+
+    def test_small_machine(self):
+        stack = HyperspaceStack(Ring(3))
+        result, _ = stack.run_recursive(fib, 10)
+        assert result == 55
+
+    def test_hinted_variant_same_result(self):
+        stack = HyperspaceStack(Torus((5, 5)), mapper="hint")
+        result, _ = stack.run_recursive(fib_hinted, 11)
+        assert result == sequential_fib(11)
+
+    def test_invocation_count_is_call_tree_size(self):
+        # fib's call tree has 2*fib(n+1)-1 nodes
+        n = 8
+        stack = HyperspaceStack(Torus((4, 4)))
+        stack.run_recursive(fib, n)
+        stats = stack.last_run.engine_stats
+        assert stats.invocations == 2 * sequential_fib(n + 1) - 1
+
+    def test_more_cores_not_slower(self):
+        def ct(nodes):
+            stack = HyperspaceStack(Torus(nodes))
+            _, report = stack.run_recursive(fib, 11, halt_on_result=False)
+            return report.computation_time
+
+        small, large = ct((2, 2)), ct((8, 8))
+        assert large <= small

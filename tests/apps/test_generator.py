@@ -1,0 +1,123 @@
+"""Tests for random SAT instance generators."""
+
+import random
+
+import pytest
+
+from repro.apps.sat import (
+    UF20_CLAUSES,
+    UF20_VARS,
+    brute_force_solve,
+    dpll_solve,
+    planted_random_ksat,
+    satisfiable_random_ksat,
+    uf20_91_suite,
+    uniform_random_ksat,
+)
+from repro.errors import ApplicationError
+
+
+class TestUniformRandomKsat:
+    def test_shape(self):
+        cnf = uniform_random_ksat(20, 91, 3, random.Random(0))
+        assert cnf.num_vars == 20
+        assert cnf.num_clauses == 91
+        assert all(len(c) == 3 for c in cnf.clauses)
+
+    def test_distinct_variables_per_clause(self):
+        cnf = uniform_random_ksat(10, 200, 3, random.Random(1))
+        for clause in cnf.clauses:
+            variables = [abs(l) for l in clause]
+            assert len(set(variables)) == 3
+
+    def test_deterministic_given_seed(self):
+        a = uniform_random_ksat(10, 30, 3, random.Random(7))
+        b = uniform_random_ksat(10, 30, 3, random.Random(7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = uniform_random_ksat(10, 30, 3, random.Random(7))
+        b = uniform_random_ksat(10, 30, 3, random.Random(8))
+        assert a != b
+
+    def test_polarity_roughly_balanced(self):
+        cnf = uniform_random_ksat(20, 500, 3, random.Random(2))
+        negs = sum(1 for c in cnf.clauses for l in c if l < 0)
+        assert 0.4 < negs / 1500 < 0.6
+
+    def test_k_larger_than_vars_rejected(self):
+        with pytest.raises(ApplicationError):
+            uniform_random_ksat(2, 5, 3, random.Random(0))
+
+    def test_invalid_k(self):
+        with pytest.raises(ApplicationError):
+            uniform_random_ksat(5, 5, 0, random.Random(0))
+
+    def test_negative_clauses_rejected(self):
+        with pytest.raises(ApplicationError):
+            uniform_random_ksat(5, -1, 2, random.Random(0))
+
+    def test_k1_and_k2(self):
+        for k in (1, 2):
+            cnf = uniform_random_ksat(6, 10, k, random.Random(0))
+            assert all(len(c) == k for c in cnf.clauses)
+
+
+class TestSatisfiableRandomKsat:
+    def test_always_satisfiable(self):
+        rng = random.Random(3)
+        for _ in range(3):
+            cnf = satisfiable_random_ksat(10, 44, 3, rng)
+            assert brute_force_solve(cnf) is not None
+
+    def test_exhaustion_raises(self):
+        # an unsatisfiable request: more clauses than a tiny var count
+        # can ever satisfy within the attempt budget
+        rng = random.Random(0)
+        with pytest.raises(ApplicationError):
+            satisfiable_random_ksat(3, 200, 3, rng, max_attempts=3)
+
+
+class TestPlantedRandomKsat:
+    def test_always_satisfiable(self):
+        rng = random.Random(5)
+        for _ in range(5):
+            cnf = planted_random_ksat(12, 50, 3, rng)
+            assert dpll_solve(cnf).satisfiable
+
+    def test_shape(self):
+        cnf = planted_random_ksat(10, 40, 3, random.Random(1))
+        assert cnf.num_clauses == 40
+        assert all(len(c) == 3 for c in cnf.clauses)
+
+    def test_too_few_vars_rejected(self):
+        with pytest.raises(ApplicationError):
+            planted_random_ksat(2, 5, 3, random.Random(0))
+
+
+class TestUf20Suite:
+    def test_paper_parameters(self):
+        assert UF20_VARS == 20
+        assert UF20_CLAUSES == 91
+
+    def test_suite_shape(self, small_sat_suite):
+        assert len(small_sat_suite) == 3
+        for cnf in small_sat_suite:
+            assert cnf.num_vars == 20
+            assert cnf.num_clauses == 91
+
+    def test_all_satisfiable(self, small_sat_suite):
+        for cnf in small_sat_suite:
+            assert dpll_solve(cnf).satisfiable
+
+    def test_deterministic(self):
+        assert uf20_91_suite(2, seed=5) == uf20_91_suite(2, seed=5)
+
+    def test_distinct_instances(self):
+        suite = uf20_91_suite(3, seed=5)
+        assert len({cnf.clauses for cnf in suite}) == 3
+
+    def test_planted_variant(self):
+        suite = uf20_91_suite(2, seed=5, planted=True)
+        for cnf in suite:
+            assert dpll_solve(cnf).satisfiable

@@ -1,0 +1,121 @@
+"""Tests for DPLL branching heuristics."""
+
+import random
+
+import pytest
+
+from repro.apps.sat import (
+    CNF,
+    HEURISTIC_NAMES,
+    first_literal,
+    jeroslow_wang,
+    make_heuristic,
+    make_random_heuristic,
+    max_occurrence,
+    moms,
+)
+from repro.errors import ApplicationError
+
+
+class TestFirstLiteral:
+    def test_picks_first(self):
+        assert first_literal(CNF([(3, 1), (2,)])) == 3
+
+    def test_skips_empty_clauses(self):
+        assert first_literal(CNF([(), (5,)])) == 5
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ApplicationError):
+            first_literal(CNF([]))
+
+
+class TestMaxOccurrence:
+    def test_most_frequent_wins(self):
+        cnf = CNF([(1, 2), (2, 3), (2, -4), (-1,)])
+        assert max_occurrence(cnf) == 2
+
+    def test_polarities_counted_separately(self):
+        cnf = CNF([(1, -2), (-2, 3), (-2,)])
+        assert max_occurrence(cnf) == -2
+
+    def test_tie_break_smallest_var_positive(self):
+        cnf = CNF([(1,), (2,)])
+        assert max_occurrence(cnf) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ApplicationError):
+            max_occurrence(CNF([]))
+
+
+class TestJeroslowWang:
+    def test_short_clauses_weigh_more(self):
+        # 5 appears once in a 1-clause (weight 1/2); 1 appears twice in
+        # 3-clauses (weight 2/8 = 1/4)
+        cnf = CNF([(5,), (1, 2, 3), (1, -2, 4)])
+        assert jeroslow_wang(cnf) == 5
+
+    def test_accumulates_across_clauses(self):
+        cnf = CNF([(1, 2), (1, 3), (4, 5)])
+        assert jeroslow_wang(cnf) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ApplicationError):
+            jeroslow_wang(CNF([]))
+
+
+class TestMoms:
+    def test_counts_only_min_size_clauses(self):
+        cnf = CNF([(1, 2), (1, 3), (4, 5, 1)])
+        # min clause size is 2; literal 1 appears twice there
+        assert moms(cnf) == 1
+
+    def test_ignores_longer_clause_majority(self):
+        cnf = CNF([(2, 3), (1, 4, 5), (1, 6, 7), (1, 8, 9)])
+        assert moms(cnf) in (2, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ApplicationError):
+            moms(CNF([]))
+
+
+class TestRandomHeuristic:
+    def test_deterministic_with_seed(self):
+        cnf = CNF([(1, 2, 3), (-1, -2, -3)])
+        a = make_random_heuristic(random.Random(9))
+        b = make_random_heuristic(random.Random(9))
+        assert [a(cnf) for _ in range(5)] == [b(cnf) for _ in range(5)]
+
+    def test_picks_existing_literal(self):
+        cnf = CNF([(1, -3), (2,)])
+        h = make_random_heuristic(random.Random(0))
+        for _ in range(20):
+            assert h(cnf) in cnf.literals()
+
+    def test_empty_rejected(self):
+        h = make_random_heuristic(random.Random(0))
+        with pytest.raises(ApplicationError):
+            h(CNF([]))
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        rng = random.Random(0)
+        for name in HEURISTIC_NAMES:
+            h = make_heuristic(name, rng)
+            assert callable(h)
+
+    def test_unknown_name(self):
+        with pytest.raises(ApplicationError):
+            make_heuristic("clairvoyant")
+
+    def test_random_requires_rng(self):
+        with pytest.raises(ApplicationError):
+            make_heuristic("random")
+
+    def test_heuristics_return_valid_literals(self, small_sat_suite):
+        rng = random.Random(1)
+        for name in HEURISTIC_NAMES:
+            h = make_heuristic(name, rng)
+            for cnf in small_sat_suite:
+                lit = h(cnf)
+                assert lit in cnf.literals()

@@ -1,0 +1,137 @@
+"""Fidelity checks: the implementations honour the paper's listings.
+
+These tests pin structural details of Listings 1-4 that a refactor could
+silently change — check order, message classification, and the exact
+fork-join protocol shapes — independent of end-to-end behaviour.
+"""
+
+import inspect
+
+import pytest
+
+from repro.apps.sat import CNF, SatProblem, make_solve_sat
+from repro.recursion import Call, Choice, Result, Sync
+
+
+def drive(gen, replies):
+    """Drive a solver generator, answering Sync with queued replies."""
+    ops = []
+    to_send = None
+    try:
+        while True:
+            op = gen.send(to_send)
+            ops.append(op)
+            if isinstance(op, Sync):
+                to_send = replies.pop(0)
+            elif isinstance(op, (Call, Choice)):
+                to_send = "ticket"
+            elif isinstance(op, Result):
+                break
+    except StopIteration:
+        pass
+    return ops
+
+
+class TestListing4Structure:
+    """Listing 4 line order: consistent -> SAT before empty-clause -> UNSAT,
+    then simplification, then the two-subcall choice."""
+
+    def test_consistent_checked_first(self):
+        # lines 2-3: consistent(problem) -> Result(SAT)
+        gen = make_solve_sat()(SatProblem(CNF([])))
+        op = next(gen)
+        assert isinstance(op, Result)
+        assert op.value == {}  # SAT with empty model
+
+    def test_empty_clause_checked_second(self):
+        # lines 4-5: exist_empty_clause -> Result(UNSAT)
+        gen = make_solve_sat()(SatProblem(CNF([()])))
+        op = next(gen)
+        assert isinstance(op, Result)
+        assert op.value is None
+
+    def test_branch_yields_choice_of_two_calls(self):
+        # lines 12-15: both polarities delegated under is_SAT choice
+        cnf = CNF([(1, 2), (-1, 2), (1, -2), (-1, 3), (2, -3)])
+        gen = make_solve_sat(simplify="none")(SatProblem(cnf))
+        op = next(gen)
+        assert isinstance(op, Choice)
+        assert len(op.calls) == 2
+        sub1, sub2 = (c.args for c in op.calls)
+        # the two sub-problems assign opposite polarities of one variable
+        (v1, b1), = set(sub1.assignment) - set(())
+        (v2, b2), = set(sub2.assignment) - set(())
+        assert v1 == v2 and b1 != b2
+
+    def test_sync_result_tail(self):
+        # lines 16-17: result <- yield Sync(); yield result
+        cnf = CNF([(1, 2), (-1, 2), (1, -2), (-1, 3), (2, -3)])
+        gen = make_solve_sat(simplify="none")(SatProblem(cnf))
+        ops = drive(gen, replies=[{1: True}])
+        assert isinstance(ops[0], Choice)
+        assert isinstance(ops[1], Sync)
+        assert isinstance(ops[2], Result)
+        assert ops[2].value == {1: True}
+
+    def test_unsat_propagates_none(self):
+        cnf = CNF([(1, 2), (-1, 2), (1, -2), (-1, 3), (2, -3)])
+        gen = make_solve_sat(simplify="none")(SatProblem(cnf))
+        ops = drive(gen, replies=[None])  # both branches came back UNSAT
+        assert ops[-1].value is None
+
+
+class TestListing3Structure:
+    def test_source_matches_paper_shape(self):
+        from repro.apps.sumrec import calculate_sum
+
+        src = inspect.getsource(calculate_sum)
+        # the three ops of Listing 3, in order
+        assert src.index("Result(0)") < src.index("Call(n - 1)")
+        assert src.index("Call(n - 1)") < src.index("Sync()")
+        assert src.index("Sync()") < src.index("Result(total + n)")
+
+    def test_base_case_boundary(self):
+        # Listing 3 line 2: "if n < 1" — zero and negatives are base cases
+        from repro.apps.sumrec import calculate_sum
+
+        for n in (0, -1, -10):
+            gen = calculate_sum(n)
+            op = next(gen)
+            assert isinstance(op, Result) and op.value == 0
+
+
+class TestListing1Structure:
+    def test_receive_signature_matches_paper(self):
+        # Listing 1: receive(node, state, sender, msg, send, neighbours)
+        from repro.apps.traversal import traversal_program
+
+        prog = traversal_program()
+        params = list(
+            inspect.signature(prog._receive_fn).parameters
+        )
+        assert params == ["node", "state", "sender", "msg", "send", "neighbours"]
+
+    def test_initial_state_is_visited_false(self):
+        from repro.apps.traversal import traversal_program
+
+        prog = traversal_program()
+        assert prog._init_fn(0) == {"visited": False}
+
+
+class TestListing2Structure:
+    def test_three_message_classes(self):
+        # Listing 2 classifies: evaluation call / returned result / trigger
+        from repro.apps.sumrec import SumCall, SumResult, SumTrigger, sum_receive
+
+        sent = []
+
+        def send(payload, ticket="<none>"):
+            sent.append((payload, ticket))
+            return "t"
+
+        sum_receive(None, "reply", SumCall(0), send)  # call, base case
+        sum_receive(None, None, SumTrigger(5), send)  # trigger
+        state = sum_receive(None, "reply", SumCall(3), send)  # call, recursive
+        sum_receive(state, "t", SumResult(6), send)  # returned result
+        kinds = [type(p).__name__ for p, _ in sent]
+        assert kinds == ["SumResult", "SumCall", "SumCall", "SumResult"]

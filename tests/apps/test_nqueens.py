@@ -1,0 +1,111 @@
+"""Tests for the N-queens application."""
+
+import pytest
+
+from repro import HyperspaceStack
+from repro.apps.nqueens import (
+    QueensProblem,
+    count_solutions,
+    found,
+    is_valid_placement,
+    nqueens,
+    sequential_nqueens,
+)
+from repro.errors import ApplicationError
+from repro.topology import Ring, Torus
+
+
+class TestSequentialReference:
+    def test_known_solution_counts(self):
+        # OEIS A000170
+        assert count_solutions(1) == 1
+        assert count_solutions(2) == 0
+        assert count_solutions(3) == 0
+        assert count_solutions(4) == 2
+        assert count_solutions(5) == 10
+        assert count_solutions(6) == 4
+        assert count_solutions(7) == 40
+
+    def test_sequential_finds_valid(self):
+        for n in (1, 4, 5, 6, 7):
+            sol = sequential_nqueens(n)
+            assert sol is not None
+            assert is_valid_placement(n, sol)
+
+    def test_sequential_unsolvable(self):
+        assert sequential_nqueens(2) is None
+        assert sequential_nqueens(3) is None
+
+    def test_invalid_board(self):
+        with pytest.raises(ApplicationError):
+            sequential_nqueens(0)
+        with pytest.raises(ApplicationError):
+            count_solutions(0)
+
+
+class TestValidity:
+    def test_valid_placement(self):
+        assert is_valid_placement(4, (1, 3, 0, 2))
+
+    def test_column_clash(self):
+        assert not is_valid_placement(4, (0, 0, 2, 3))
+
+    def test_diagonal_clash(self):
+        assert not is_valid_placement(4, (0, 1, 3, 2))
+
+    def test_wrong_length(self):
+        assert not is_valid_placement(4, (0, 2))
+
+    def test_out_of_range_column(self):
+        assert not is_valid_placement(4, (0, 2, 4, 1))
+
+    def test_found_predicate(self):
+        assert found(())
+        assert found((1, 2))
+        assert not found(None)
+
+
+class TestDistributedNQueens:
+    @pytest.mark.parametrize("n", [1, 4, 5, 6])
+    def test_finds_valid_solution(self, n):
+        stack = HyperspaceStack(Torus((5, 5)), seed=n)
+        sol, _ = stack.run_recursive(nqueens, QueensProblem(n))
+        assert sol is not None
+        assert is_valid_placement(n, tuple(sol))
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_unsolvable_returns_none(self, n):
+        stack = HyperspaceStack(Torus((4, 4)))
+        sol, _ = stack.run_recursive(nqueens, QueensProblem(n))
+        assert sol is None
+
+    def test_int_argument_accepted(self):
+        stack = HyperspaceStack(Torus((4, 4)))
+        sol, _ = stack.run_recursive(nqueens, 5)
+        assert is_valid_placement(5, tuple(sol))
+
+    def test_invalid_board_size(self):
+        stack = HyperspaceStack(Torus((3, 3)))
+        with pytest.raises(ApplicationError):
+            stack.run_recursive(nqueens, QueensProblem(0))
+
+    def test_small_machine(self):
+        stack = HyperspaceStack(Ring(4))
+        sol, _ = stack.run_recursive(nqueens, QueensProblem(6))
+        assert is_valid_placement(6, tuple(sol))
+
+    @pytest.mark.parametrize("mapper", ["rr", "lbn"])
+    def test_mapper_independent_validity(self, mapper):
+        stack = HyperspaceStack(Torus((4, 4)), mapper=mapper, seed=9)
+        sol, _ = stack.run_recursive(nqueens, QueensProblem(6))
+        assert is_valid_placement(6, tuple(sol))
+
+    def test_speculative_fanout_is_data_dependent(self):
+        # N-queens issues one subcall per safe column: the root row alone
+        # contributes 6 calls in one choice group, so on average fan-out
+        # strictly exceeds one call per group (unlike SAT's fixed 2)
+        stack = HyperspaceStack(Torus((5, 5)))
+        stack.run_recursive(nqueens, QueensProblem(6), halt_on_result=False)
+        stats = stack.last_run.engine_stats
+        assert stats.choice_groups >= 1
+        assert stats.calls_made >= stats.choice_groups + 5

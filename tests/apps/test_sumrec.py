@@ -1,0 +1,96 @@
+"""Tests for the paper's running sum example (Listings 2 & 3)."""
+
+import pytest
+
+from repro import HyperspaceStack
+from repro.apps.sumrec import (
+    SumCall,
+    SumResult,
+    SumTrigger,
+    calculate_sum,
+    closed_form_sum,
+    sum_receive,
+    sum_ticketed_app,
+)
+from repro.mapping import MappingService
+from repro.topology import Ring, Torus
+
+
+class TestClosedForm:
+    def test_values(self):
+        assert closed_form_sum(10) == 55
+        assert closed_form_sum(1) == 1
+        assert closed_form_sum(0) == 0
+        assert closed_form_sum(-5) == 0
+
+
+class TestListing3:
+    @pytest.mark.parametrize("n", [0, 1, 2, 10, 25])
+    def test_calculate_sum(self, n):
+        stack = HyperspaceStack(Torus((6, 6)))
+        result, _ = stack.run_recursive(calculate_sum, n)
+        assert result == closed_form_sum(n)
+
+    def test_negative_input(self):
+        stack = HyperspaceStack(Torus((4, 4)))
+        result, _ = stack.run_recursive(calculate_sum, -3)
+        assert result == 0
+
+    def test_on_small_machine(self):
+        # depth 30 on 4 nodes: invocations pile up per node and still work
+        stack = HyperspaceStack(Ring(4))
+        result, _ = stack.run_recursive(calculate_sum, 30)
+        assert result == closed_form_sum(30)
+
+    @pytest.mark.parametrize("mapper", ["rr", "lbn", "random"])
+    def test_mapper_independent(self, mapper):
+        stack = HyperspaceStack(Torus((5, 5)), mapper=mapper, seed=2)
+        result, _ = stack.run_recursive(calculate_sum, 12)
+        assert result == 78
+
+
+class TestListing2:
+    def run_listing2(self, n, ring_size=20):
+        stack = HyperspaceStack(Ring(ring_size))
+        results, report = stack.run_ticketed(sum_ticketed_app(), SumTrigger(n))
+        state = MappingService.app_state_of(
+            stack.last_run.scheduler.process_state(stack.last_run.machine, 0)
+        )
+        return state, report
+
+    def test_computes_sum_10(self):
+        state, _ = self.run_listing2(10)
+        assert type(state).__name__ == "_Done"
+        assert state.total == 55
+
+    @pytest.mark.parametrize("n", [0, 1, 5, 15])
+    def test_various_n(self, n):
+        state, _ = self.run_listing2(n)
+        assert state.total == closed_form_sum(n)
+
+    def test_chain_spans_multiple_nodes(self):
+        _, report = self.run_listing2(10)
+        assert report.active_node_count >= 11  # trigger node + 10 workers
+
+    def test_unknown_message_rejected(self):
+        with pytest.raises(ValueError):
+            sum_receive(None, None, "garbage", lambda *a: None)
+
+    def test_receive_base_case_replies_immediately(self):
+        sent = []
+
+        def send(payload, ticket="<none>"):
+            sent.append((payload, ticket))
+            return "ticket"
+
+        state = sum_receive(None, "reply-handle", SumCall(0), send)
+        assert sent == [(SumResult(0), "reply-handle")]
+        assert state is None  # state unchanged
+
+    def test_receive_recursive_case_stores_continue(self):
+        def send(payload, ticket="<none>"):
+            return "sub-ticket"
+
+        state = sum_receive(None, "parent", SumCall(5), send)
+        assert state.ticket == "parent"
+        assert state.n == 5

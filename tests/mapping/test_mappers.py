@@ -1,0 +1,182 @@
+"""Unit tests for mapping algorithms (paper §V-D)."""
+
+import random
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping import (
+    HintAwareMapper,
+    LeastBusyNeighbourMapper,
+    MapperView,
+    RandomMapper,
+    RoundRobinMapper,
+    make_mapper_factory,
+)
+
+
+def make_view(neighbours=(1, 2, 3, 4), node=0, seed=0):
+    return MapperView(node, neighbours, random.Random(seed))
+
+
+class TestMapperView:
+    def test_observe_records_count(self):
+        v = make_view()
+        v.observe(1, 5)
+        assert v.known_count(1) == 5
+
+    def test_unobserved_defaults_to_zero(self):
+        assert make_view().known_count(3) == 0
+
+    def test_observe_keeps_freshest(self):
+        v = make_view()
+        v.observe(1, 5)
+        v.observe(1, 3)  # stale (counts are monotone)
+        assert v.known_count(1) == 5
+        v.observe(1, 9)
+        assert v.known_count(1) == 9
+
+
+class TestRoundRobin:
+    def test_circular_order(self):
+        m = RoundRobinMapper()
+        v = make_view((10, 20, 30))
+        assert [m.choose(v, None) for _ in range(7)] == [10, 20, 30, 10, 20, 30, 10]
+
+    def test_ignores_counts(self):
+        m = RoundRobinMapper()
+        v = make_view((1, 2))
+        v.observe(1, 1000)
+        assert m.choose(v, None) == 1  # static: counts irrelevant
+
+    def test_no_neighbours_rejected(self):
+        with pytest.raises(MappingError):
+            RoundRobinMapper().choose(make_view(()), None)
+
+
+class TestLeastBusyNeighbour:
+    def test_picks_smallest_known_count(self):
+        m = LeastBusyNeighbourMapper()
+        v = make_view((1, 2, 3))
+        v.observe(1, 10)
+        v.observe(2, 2)
+        v.observe(3, 7)
+        assert m.choose(v, None) == 2
+
+    def test_unheard_neighbours_look_idle(self):
+        m = LeastBusyNeighbourMapper()
+        v = make_view((1, 2, 3))
+        v.observe(1, 4)
+        v.observe(2, 4)
+        assert m.choose(v, None) == 3  # never heard from -> count 0
+
+    def test_random_tie_break_spreads(self):
+        m = LeastBusyNeighbourMapper(track_outstanding=False)
+        v = make_view((1, 2, 3, 4), seed=42)
+        picks = {m.choose(v, None) for _ in range(40)}
+        assert len(picks) > 1
+
+    def test_outstanding_tracking_spreads_bursts(self):
+        m = LeastBusyNeighbourMapper(track_outstanding=True)
+        v = make_view((1, 2, 3))
+        picks = []
+        for _ in range(3):
+            dst = m.choose(v, None)
+            m.on_sent(v, dst, None)
+            picks.append(dst)
+        assert sorted(picks) == [1, 2, 3]
+
+    def test_naive_variant_hammers_stale_minimum(self):
+        m = LeastBusyNeighbourMapper(track_outstanding=False)
+        v = make_view((1, 2, 3))
+        v.observe(2, 1)
+        v.observe(3, 1)
+        picks = []
+        for _ in range(5):
+            dst = m.choose(v, None)
+            m.on_sent(v, dst, None)
+            picks.append(dst)
+        assert picks == [1, 1, 1, 1, 1]
+
+    def test_reply_retires_outstanding(self):
+        m = LeastBusyNeighbourMapper(track_outstanding=True)
+        v = make_view((1, 2))
+        m.on_sent(v, 1, None)
+        m.on_sent(v, 1, None)
+        m.on_reply(v, 1)
+        m.on_reply(v, 1)
+        m.on_reply(v, 1)  # extra replies are tolerated
+        assert m._outstanding == {}
+
+    def test_no_neighbours_rejected(self):
+        with pytest.raises(MappingError):
+            LeastBusyNeighbourMapper().choose(make_view(()), None)
+
+
+class TestRandomMapper:
+    def test_uniformish(self):
+        m = RandomMapper()
+        v = make_view((1, 2, 3, 4), seed=3)
+        picks = [m.choose(v, None) for _ in range(400)]
+        for n in (1, 2, 3, 4):
+            assert 50 < picks.count(n) < 150
+
+    def test_deterministic_given_seed(self):
+        a = [RandomMapper().choose(make_view(seed=9), None) for _ in range(5)]
+        b = [RandomMapper().choose(make_view(seed=9), None) for _ in range(5)]
+        assert a == b
+
+
+class TestHintAware:
+    def test_defaults_to_least_busy(self):
+        m = HintAwareMapper()
+        v = make_view((1, 2))
+        v.observe(1, 5)
+        assert m.choose(v, None) == 2
+
+    def test_outstanding_hints_steer_away(self):
+        m = HintAwareMapper(alpha=1.0)
+        v = make_view((1, 2))
+        m.on_sent(v, 1, 100.0)  # heavy work sent to 1
+        assert m.choose(v, 1.0) == 2
+
+    def test_reply_retires_hint_load(self):
+        m = HintAwareMapper(alpha=1.0)
+        v = make_view((1, 2))
+        m.on_sent(v, 1, 100.0)
+        m.on_reply(v, 1)
+        v.observe(2, 1)
+        assert m.choose(v, None) == 1
+
+    def test_unhinted_work_uses_default(self):
+        m = HintAwareMapper(alpha=1.0)
+        v = make_view((1, 2))
+        m.on_sent(v, 1, None)
+        assert m._outstanding[1] == HintAwareMapper.DEFAULT_HINT
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(MappingError):
+            HintAwareMapper(alpha=-1)
+
+    def test_fifo_retirement_order(self):
+        m = HintAwareMapper()
+        v = make_view((1, 2))
+        m.on_sent(v, 1, 10.0)
+        m.on_sent(v, 1, 1.0)
+        m.on_reply(v, 1)  # retires the 10.0 first
+        assert m._outstanding[1] == pytest.approx(1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["rr", "lbn", "random", "hint"])
+    def test_known_names(self, name):
+        factory = make_mapper_factory(name)
+        assert factory() is not factory()  # fresh instance per node
+
+    def test_unknown_name(self):
+        with pytest.raises(MappingError):
+            make_mapper_factory("banana")
+
+    def test_kwargs_forwarded(self):
+        factory = make_mapper_factory("hint", alpha=2.5)
+        assert factory().alpha == 2.5

@@ -1,0 +1,256 @@
+"""Tests for the layer-3 mapping service (tickets, replies, status)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping import (
+    ExplicitStatusPolicy,
+    MappingService,
+    NoStatusPolicy,
+    ReplyHandle,
+    RoundRobinMapper,
+    Ticket,
+    make_mapper_factory,
+    make_status_factory,
+)
+from repro.netsim import Machine
+from repro.sched import SchedulerProgram
+from repro.topology import Ring, Torus
+
+
+class EchoApp:
+    """Replies to every piece of work with (node, payload)."""
+
+    def init(self, mctx):
+        mctx.state = {"replies": [], "work": []}
+
+    def on_work(self, mctx, reply, payload, hint):
+        if payload == "start":
+            mctx.state["ticket"] = mctx.call("job", hint=2.5)
+        else:
+            mctx.state["work"].append((payload, hint))
+            mctx.reply(reply, ("done", mctx.node, payload))
+
+    def on_reply(self, mctx, ticket, payload):
+        mctx.state["replies"].append((ticket, payload))
+
+    def on_cancel(self, mctx, ticket):
+        pass
+
+
+def build(topology, app, mapper="rr", status=None, **kw):
+    service = MappingService(
+        app, make_mapper_factory(mapper), make_status_factory(status), **kw
+    )
+    sched = SchedulerProgram([service])
+    machine = Machine(topology, sched)
+    return machine, sched, service
+
+
+class TestCallReply:
+    def test_work_travels_one_hop_and_reply_returns(self):
+        app = EchoApp()
+        machine, sched, service = build(Ring(5), app)
+        machine.inject(0, "start")
+        machine.run()
+        st0 = MappingService.app_state_of(sched.process_state(machine, 0))
+        assert len(st0["replies"]) == 1
+        ticket, payload = st0["replies"][0]
+        assert ticket == st0["ticket"]
+        assert payload[0] == "done"
+        # work executed at a neighbour of node 0
+        assert payload[1] in Ring(5).neighbours(0)
+
+    def test_hint_passes_through(self):
+        app = EchoApp()
+        machine, sched, service = build(Ring(5), app)
+        machine.inject(0, "start")
+        machine.run()
+        worker = Ring(5).neighbours(0)[0]
+        stw = MappingService.app_state_of(sched.process_state(machine, worker))
+        assert stw["work"] == [("job", 2.5)]
+
+    def test_tickets_are_unique_per_node(self):
+        class ManyCalls:
+            def init(self, mctx):
+                mctx.state = []
+
+            def on_work(self, mctx, reply, payload, hint):
+                if payload == "start":
+                    mctx.state = [mctx.call(i) for i in range(5)]
+                else:
+                    mctx.reply(reply, None)
+
+            def on_reply(self, mctx, ticket, payload):
+                pass
+
+            def on_cancel(self, mctx, ticket):
+                pass
+
+        app = ManyCalls()
+        machine, sched, _ = build(Ring(5), app)
+        machine.inject(0, "start")
+        machine.run()
+        tickets = MappingService.app_state_of(sched.process_state(machine, 0))
+        assert len(set(tickets)) == 5
+        assert all(t.node == 0 for t in tickets)
+
+    def test_external_reply_collected_as_result(self):
+        class Immediate:
+            def init(self, mctx):
+                mctx.state = None
+
+            def on_work(self, mctx, reply, payload, hint):
+                mctx.reply(reply, payload * 2)
+
+            def on_reply(self, mctx, ticket, payload):
+                pass
+
+            def on_cancel(self, mctx, ticket):
+                pass
+
+        machine, sched, _ = build(Ring(4), Immediate())
+        machine.inject(2, 21)
+        machine.run()
+        results = MappingService.results_of(sched.process_state(machine, 2))
+        assert results == [42]
+
+    def test_halt_on_result(self):
+        class Immediate:
+            def init(self, mctx):
+                mctx.state = None
+
+            def on_work(self, mctx, reply, payload, hint):
+                mctx.reply(reply, "r")
+
+            def on_reply(self, mctx, ticket, payload):
+                pass
+
+            def on_cancel(self, mctx, ticket):
+                pass
+
+        machine, sched, _ = build(Ring(4), Immediate(), halt_on_result=True)
+        machine.inject(0, "x")
+        report = machine.run()
+        assert report.steps == 1
+
+    def test_empty_route_reply_rejected(self):
+        class BadReply:
+            def init(self, mctx):
+                mctx.state = None
+
+            def on_work(self, mctx, reply, payload, hint):
+                mctx.reply(ReplyHandle(Ticket(0, 0), ()), "oops")
+
+            def on_reply(self, mctx, ticket, payload):
+                pass
+
+            def on_cancel(self, mctx, ticket):
+                pass
+
+        machine, _, _ = build(Ring(4), BadReply())
+        machine.inject(0, "x")
+        with pytest.raises(MappingError):
+            machine.run()
+
+
+class TestActivityTracking:
+    def test_received_count_increments_on_work(self):
+        app = EchoApp()
+        machine, sched, _ = build(Ring(5), app)
+        machine.inject(0, "start")
+        machine.run()
+        view0 = MappingService.view_of(sched.process_state(machine, 0))
+        # node 0 received: the trigger + the reply
+        assert view0.received_count == 2
+
+    def test_piggybacked_counts_observed(self):
+        app = EchoApp()
+        machine, sched, _ = build(Ring(5), app)
+        machine.inject(0, "start")
+        machine.run()
+        worker = Ring(5).neighbours(0)[0]
+        vieww = MappingService.view_of(sched.process_state(machine, worker))
+        # worker saw node 0's count piggybacked on the work message
+        assert 0 in vieww.neighbour_counts
+
+    def test_status_messages_not_counted_as_activity(self):
+        class Chatter:
+            def init(self, mctx):
+                mctx.state = None
+
+            def on_work(self, mctx, reply, payload, hint):
+                if reply is not None:
+                    mctx.reply(reply, None)
+                else:
+                    for _ in range(6):
+                        mctx.call("w")
+
+            def on_reply(self, mctx, ticket, payload):
+                pass
+
+            def on_cancel(self, mctx, ticket):
+                pass
+
+        machine, sched, _ = build(Ring(3), Chatter(), status=1)
+        machine.inject(0, "go")
+        report = machine.run(max_steps=10_000)
+        assert report.quiescent  # no status storm
+        view = MappingService.view_of(sched.process_state(machine, 0))
+        # trigger + 6 replies; statuses excluded
+        assert view.received_count == 7
+
+
+class TestStatusPolicies:
+    def test_no_status_policy(self):
+        p = NoStatusPolicy()
+        assert not p.should_broadcast(100)
+
+    def test_explicit_threshold(self):
+        p = ExplicitStatusPolicy(threshold=3)
+        assert not p.should_broadcast(2)
+        assert p.should_broadcast(3)
+        p.on_broadcast(3)
+        assert not p.should_broadcast(5)
+        assert p.should_broadcast(6)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(MappingError):
+            ExplicitStatusPolicy(threshold=0)
+
+    def test_make_status_factory(self):
+        assert isinstance(make_status_factory(None)(), NoStatusPolicy)
+        assert isinstance(make_status_factory("off")(), NoStatusPolicy)
+        assert isinstance(make_status_factory(8)(), ExplicitStatusPolicy)
+        assert make_status_factory("8")().threshold == 8
+        with pytest.raises(MappingError):
+            make_status_factory("loud")
+
+    def test_status_traffic_appears_on_wire(self):
+        app = EchoApp()
+        m_off, _, _ = build(Torus((3, 3)), EchoApp(), status=None)
+        m_off.inject(0, "start")
+        off_sent = m_off.run().sent_total
+
+        m_on, _, _ = build(Torus((3, 3)), app, status=1)
+        m_on.inject(0, "start")
+        on_sent = m_on.run().sent_total
+        assert on_sent > off_sent
+
+
+class TestForwardHops:
+    def test_forwarded_work_still_replies_to_issuer(self):
+        app = EchoApp()
+        machine, sched, _ = build(Ring(8), app, forward_hops=2)
+        machine.inject(0, "start")
+        machine.run()
+        st0 = MappingService.app_state_of(sched.process_state(machine, 0))
+        assert len(st0["replies"]) == 1
+        # with 2 forwarding hops the worker is 3 hops out (on a ring, distinct)
+        _, payload = st0["replies"][0]
+        worker = payload[1]
+        assert worker not in (0,)
+
+    def test_invalid_forward_hops(self):
+        with pytest.raises(MappingError):
+            MappingService(EchoApp(), RoundRobinMapper, forward_hops=-1)

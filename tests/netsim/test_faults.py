@@ -1,0 +1,89 @@
+"""Tests for fault injection (drop/duplicate extension)."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import FaultModel, FunctionalProgram, Machine, ReliableLinks
+from repro.topology import Ring
+
+
+class TestFaultModel:
+    def test_reliable_default(self):
+        assert ReliableLinks.is_reliable
+        assert ReliableLinks.copies_to_deliver() == 1
+
+    def test_invalid_probability(self):
+        with pytest.raises(SimulationError):
+            FaultModel(drop_probability=1.5, rng=random.Random(0))
+        with pytest.raises(SimulationError):
+            FaultModel(duplicate_probability=-0.1, rng=random.Random(0))
+
+    def test_rng_required_for_faults(self):
+        with pytest.raises(SimulationError):
+            FaultModel(drop_probability=0.5)
+
+    def test_always_drop(self):
+        fm = FaultModel(drop_probability=1.0, rng=random.Random(0))
+        assert all(fm.copies_to_deliver() == 0 for _ in range(10))
+
+    def test_always_duplicate(self):
+        fm = FaultModel(duplicate_probability=1.0, rng=random.Random(0))
+        assert all(fm.copies_to_deliver() == 2 for _ in range(10))
+
+    def test_statistical_drop_rate(self):
+        fm = FaultModel(drop_probability=0.3, rng=random.Random(7))
+        n = 10_000
+        dropped = sum(1 for _ in range(n) if fm.copies_to_deliver() == 0)
+        assert 0.25 < dropped / n < 0.35
+
+
+class TestFaultsInMachine:
+    @staticmethod
+    def flood_program():
+        def init(node):
+            return {"visited": False}
+
+        def receive(node, state, sender, msg, send, neighbours):
+            if not state["visited"]:
+                state["visited"] = True
+                for n in neighbours:
+                    send(n, None)
+
+        return FunctionalProgram(init, receive)
+
+    def test_total_drop_stops_traversal(self):
+        fm = FaultModel(drop_probability=1.0, rng=random.Random(0))
+        m = Machine(Ring(6), self.flood_program(), faults=fm)
+        m.inject(0, None)
+        report = m.run()
+        # the injected message itself is dropped: nothing ever happens
+        assert report.delivered_total == 0
+        assert report.dropped_total == 1
+        assert not m.state_of(0)["visited"]
+
+    def test_duplication_inflates_delivery(self):
+        fm = FaultModel(duplicate_probability=1.0, rng=random.Random(0))
+        m = Machine(Ring(6), self.flood_program(), faults=fm)
+        m.inject(0, None)
+        report = m.run()
+        # every send delivers twice; traversal still visits everyone
+        assert all(m.state_of(n)["visited"] for n in range(6))
+        assert report.delivered_total == 2 * report.sent_total
+
+    def test_traversal_reliable_under_moderate_duplication(self):
+        fm = FaultModel(duplicate_probability=0.2, rng=random.Random(3))
+        m = Machine(Ring(8), self.flood_program(), faults=fm)
+        m.inject(0, None)
+        m.run()
+        assert all(m.state_of(n)["visited"] for n in range(8))
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            fm = FaultModel(drop_probability=0.4, rng=random.Random(seed))
+            m = Machine(Ring(8), self.flood_program(), faults=fm)
+            m.inject(0, None)
+            return m.run().delivered_total
+
+        assert run(5) == run(5)

@@ -1,0 +1,105 @@
+"""Tests for envelopes and the node-program adapters."""
+
+import pytest
+
+from repro.netsim import EMPTY_MSG, Envelope, FunctionalProgram, Machine, NodeProgram
+from repro.topology import Ring
+
+
+class TestEnvelope:
+    def test_fields(self):
+        e = Envelope(src=1, dst=2, payload="x", sent_step=5, msg_id=9)
+        assert (e.src, e.dst, e.payload, e.sent_step, e.msg_id) == (1, 2, "x", 5, 9)
+
+    def test_copy_as_fresh_id(self):
+        e = Envelope(1, 2, "x", 5, 9)
+        d = e.copy_as(10)
+        assert d.msg_id == 10
+        assert (d.src, d.dst, d.payload, d.sent_step) == (1, 2, "x", 5)
+
+    def test_repr(self):
+        assert "1->2" in repr(Envelope(1, 2, None, 0, 3))
+
+    def test_empty_msg_is_none(self):
+        assert EMPTY_MSG is None
+
+
+class TestFunctionalProgram:
+    def test_state_replacement_style(self):
+        def init(node):
+            return 0
+
+        def receive(node, state, sender, msg, send, neighbours):
+            return state + msg  # functional: return new state
+
+        m = Machine(Ring(3), FunctionalProgram(init, receive))
+        m.inject(0, 5)
+        m.inject(0, 7)
+        m.run()
+        assert m.state_of(0) == 12
+
+    def test_mutation_style(self):
+        def init(node):
+            return {"total": 0}
+
+        def receive(node, state, sender, msg, send, neighbours):
+            state["total"] += msg  # in-place: return None
+
+        m = Machine(Ring(3), FunctionalProgram(init, receive))
+        m.inject(1, 4)
+        m.run()
+        assert m.state_of(1) == {"total": 4}
+
+    def test_no_init_function(self):
+        seen = []
+
+        def receive(node, state, sender, msg, send, neighbours):
+            seen.append(state)
+
+        m = Machine(Ring(3), FunctionalProgram(None, receive))
+        m.inject(0, "x")
+        m.run()
+        assert seen == [None]
+
+    def test_receive_gets_paper_signature(self):
+        captured = {}
+
+        def receive(node, state, sender, msg, send, neighbours):
+            captured.update(
+                node=node, sender=sender, msg=msg, neighbours=neighbours
+            )
+
+        m = Machine(Ring(5), FunctionalProgram(None, receive))
+        m.inject(2, "hello")
+        m.run()
+        assert captured["node"] == 2
+        assert captured["sender"] == -1  # external
+        assert captured["msg"] == "hello"
+        assert captured["neighbours"] == (1, 3)
+
+    def test_protocol_conformance(self):
+        prog = FunctionalProgram(None, lambda *a: None)
+        assert isinstance(prog, NodeProgram)
+
+
+class TestNodeContext:
+    def test_n_nodes_and_step(self):
+        seen = {}
+
+        class P:
+            def init(self, ctx):
+                ctx.state = None
+                seen["init_step"] = ctx.step
+
+            def on_message(self, ctx, sender, payload):
+                seen["n_nodes"] = ctx.n_nodes
+                seen["step"] = ctx.step
+                seen["machine"] = ctx.machine
+
+        m = Machine(Ring(6), P())
+        m.inject(0, None)
+        m.run()
+        assert seen["init_step"] == -1
+        assert seen["n_nodes"] == 6
+        assert seen["step"] == 0
+        assert seen["machine"] is m

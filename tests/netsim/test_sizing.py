@@ -1,0 +1,120 @@
+"""Tests for message-size models and bandwidth accounting."""
+
+import pytest
+
+from repro.mapping import CancelMsg, ReplyMsg, StatusMsg, Ticket, WorkMsg
+from repro.netsim import (
+    HEADER_SIZE,
+    FunctionalProgram,
+    Machine,
+    generic_content_size,
+    make_envelope_sizer,
+    unit_size,
+)
+from repro.sched import Packet
+from repro.topology import Ring
+
+
+class TestContentSizers:
+    def test_unit_size(self):
+        assert unit_size("anything") == 1
+        assert unit_size(None) == 1
+
+    def test_generic_scalar(self):
+        assert generic_content_size(42) == 1
+        assert generic_content_size("string") == 1
+
+    def test_generic_tuple(self):
+        assert generic_content_size((1, 2, 3)) == 4
+
+    def test_generic_nested(self):
+        assert generic_content_size(((1, 2), 3)) == 5
+
+    def test_generic_dict(self):
+        assert generic_content_size({1: True}) == 3
+
+
+class TestEnvelopeSizer:
+    def test_bare_payload(self):
+        sizer = make_envelope_sizer()
+        assert sizer("x") == 1
+
+    def test_packet_unwrapped(self):
+        sizer = make_envelope_sizer()
+        assert sizer(Packet(0, 0, "x")) == HEADER_SIZE + 1
+
+    def test_work_msg_charges_path(self):
+        sizer = make_envelope_sizer()
+        w = WorkMsg(Ticket(0, 0), "x", None, path=(0, 1, 2), hops_left=0, sender_count=0)
+        assert sizer(w) == HEADER_SIZE + 3 + 1
+
+    def test_reply_msg_charges_route(self):
+        sizer = make_envelope_sizer()
+        r = ReplyMsg(Ticket(0, 0), "x", route=(1, 0), sender_count=0)
+        assert sizer(r) == HEADER_SIZE + 2 + 1
+
+    def test_status_and_cancel_fixed(self):
+        sizer = make_envelope_sizer()
+        assert sizer(StatusMsg(7)) == HEADER_SIZE
+        assert sizer(CancelMsg(Ticket(0, 0), 1)) == HEADER_SIZE
+
+    def test_nested_packet_work(self):
+        sizer = make_envelope_sizer()
+        w = WorkMsg(Ticket(0, 0), (1, 2), None, path=(0,), hops_left=0, sender_count=0)
+        assert sizer(Packet(0, 0, w)) == HEADER_SIZE + HEADER_SIZE + 1 + 3
+
+    def test_custom_content_sizer(self):
+        sizer = make_envelope_sizer(lambda c: 100)
+        assert sizer("x") == 100
+
+
+class TestMachineTrafficAccounting:
+    @staticmethod
+    def forwarding_program():
+        def receive(node, state, sender, msg, send, neighbours):
+            if msg:
+                send(neighbours[0], msg - 1)
+
+        return FunctionalProgram(None, receive)
+
+    def test_default_unit_traffic(self):
+        m = Machine(Ring(5), self.forwarding_program())
+        m.inject(0, 3)
+        rep = m.run()
+        assert rep.traffic_total == rep.sent_total
+        assert rep.mean_message_size == 1.0
+
+    def test_custom_size_fn(self):
+        m = Machine(Ring(5), self.forwarding_program(), size_fn=lambda p: 10)
+        m.inject(0, 3)
+        rep = m.run()
+        assert rep.traffic_total == 10 * rep.sent_total
+        assert rep.mean_message_size == 10.0
+
+    def test_node_traffic_attribution(self):
+        m = Machine(Ring(5), self.forwarding_program(), size_fn=lambda p: 5)
+        m.inject(0, 2)  # 0 receives, forwards to 4; 4 forwards to 3
+        rep = m.run()
+        assert rep.node_traffic[0] == 5
+        assert rep.node_traffic[4] == 5
+        # external injection is not attributed to any node
+        assert rep.node_traffic.sum() == rep.traffic_total - 5
+
+    def test_sat_bandwidth_ordering(self, small_sat_suite):
+        from repro import HyperspaceStack, Torus
+        from repro.apps.sat import SatProblem, make_solve_sat, sat_content_size
+
+        cnf = small_sat_suite[0]
+        traffic = {}
+        for mode in ("none", "fixpoint"):
+            stack = HyperspaceStack(
+                Torus((6, 6)),
+                seed=1,
+                size_fn=make_envelope_sizer(sat_content_size),
+            )
+            _, rep = stack.run_recursive(
+                make_solve_sat(simplify=mode), SatProblem(cnf), halt_on_result=False
+            )
+            traffic[mode] = rep.traffic_total
+        # deep local simplification saves an order of magnitude of bandwidth
+        assert traffic["fixpoint"] * 5 < traffic["none"]

@@ -1,0 +1,84 @@
+"""Tests for the paper's Listing 1 (mesh traversal / flood fill)."""
+
+import pytest
+
+from repro.apps.traversal import run_traversal, traversal_program, visited_nodes
+from repro.netsim import Machine
+from repro.topology import (
+    CompleteTree,
+    FullyConnected,
+    Grid,
+    Hypercube,
+    Line,
+    Ring,
+    Star,
+    Torus,
+)
+
+TOPOLOGIES = [
+    Torus((4, 4)),
+    Torus((3, 3, 3)),
+    Grid((4, 5)),
+    Ring(9),
+    Line(7),
+    Hypercube(4),
+    FullyConnected(8),
+    Star(6),
+    CompleteTree(2, 4),
+]
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.describe())
+def test_traversal_visits_every_node(topo):
+    machine, report = run_traversal(topo, start=0)
+    assert visited_nodes(machine) == list(topo.nodes())
+    assert report.quiescent
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.describe())
+def test_traversal_sends_degree_messages_per_node(topo):
+    machine, report = run_traversal(topo, start=0)
+    # every node broadcasts to its neighbours exactly once (plus the trigger)
+    expected = 1 + sum(topo.degree(n) for n in topo.nodes())
+    assert report.sent_total == expected
+
+
+def test_traversal_time_tracks_eccentricity():
+    # flood fill from a corner reaches the farthest node in distance steps;
+    # termination takes a bounded number of extra steps for the last wave
+    topo = Grid((6, 6))
+    machine, report = run_traversal(topo, start=0)
+    farthest = max(topo.distance(0, n) for n in topo.nodes())
+    assert report.steps >= farthest
+    assert report.steps <= farthest + 3
+
+
+def test_traversal_from_different_starts():
+    topo = Torus((5, 5))
+    for start in (0, 7, 24):
+        machine, _ = run_traversal(topo, start=start)
+        assert len(visited_nodes(machine)) == 25
+
+
+def test_single_node_machine():
+    machine, report = run_traversal(Ring(1), start=0)
+    assert visited_nodes(machine) == [0]
+    assert report.sent_total == 1  # just the trigger
+
+
+def test_node_activity_counts_duplicates():
+    # interior nodes receive one message per neighbour (duplicates ignored
+    # by the algorithm but still delivered and counted)
+    topo = Torus((4, 4))
+    machine, report = run_traversal(topo, start=0)
+    assert report.node_activity.sum() == report.delivered_total
+    assert report.delivered_total == report.sent_total
+
+
+def test_program_reusable_across_machines():
+    prog = traversal_program()
+    for topo in (Ring(5), Ring(6)):
+        m = Machine(topo, prog)
+        m.inject(0, None)
+        m.run()
+        assert len(visited_nodes(m)) == topo.n_nodes

@@ -1,0 +1,92 @@
+"""Property-based tests for CNF operations and DPLL correctness."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.apps.sat import (
+    CNF,
+    brute_force_count,
+    brute_force_solve,
+    dpll_solve,
+    parse_dimacs,
+    to_dimacs,
+)
+
+MAX_VARS = 6
+
+literals = st.integers(1, MAX_VARS).flatmap(
+    lambda v: st.sampled_from([v, -v])
+)
+clauses = st.lists(literals, min_size=1, max_size=4).map(tuple)
+cnfs = st.lists(clauses, min_size=0, max_size=12).map(
+    lambda cs: CNF(cs, num_vars=MAX_VARS)
+)
+assignments = st.fixed_dictionaries(
+    {v: st.booleans() for v in range(1, MAX_VARS + 1)}
+)
+
+
+@given(cnfs, assignments)
+def test_assign_preserves_truth(cnf, assignment):
+    """Simplifying under lit=True keeps the formula's value under any
+    total assignment that agrees with the literal."""
+    for var in range(1, MAX_VARS + 1):
+        lit = var if assignment[var] else -var
+        simplified = cnf.assign(lit)
+        assert simplified.evaluate(assignment) == cnf.evaluate(assignment)
+
+
+@given(cnfs)
+def test_assign_removes_variable(cnf):
+    for lit in list(cnf.literals())[:4]:
+        simplified = cnf.assign(lit)
+        assert lit not in simplified.literals()
+        assert -lit not in simplified.literals()
+
+
+@given(cnfs)
+def test_dimacs_roundtrip(cnf):
+    assert parse_dimacs(to_dimacs(cnf)) == cnf
+
+
+@given(cnfs)
+@settings(max_examples=60)
+def test_dpll_matches_brute_force(cnf):
+    expected = brute_force_solve(cnf) is not None
+    res = dpll_solve(cnf)
+    assert res.satisfiable == expected
+    if res.satisfiable:
+        assert cnf.evaluate(res.assignment) in (True, None)
+        # completing the partial model arbitrarily must satisfy the formula
+        total = {v: res.assignment.get(v, True) for v in range(1, MAX_VARS + 1)}
+        assert cnf.is_satisfied_by(total)
+
+
+@given(cnfs, assignments)
+def test_evaluate_total_assignment_is_decided(cnf, assignment):
+    assert cnf.evaluate(assignment) in (True, False)
+
+
+@given(cnfs)
+def test_unit_literals_are_unit_clauses(cnf):
+    units = cnf.unit_literals()
+    for lit in units:
+        assert (lit,) in cnf.clauses
+
+
+@given(cnfs)
+def test_pure_literals_single_polarity(cnf):
+    lits = cnf.literals()
+    for lit in cnf.pure_literals():
+        assert lit in lits
+        assert -lit not in lits
+
+
+@given(cnfs)
+def test_model_count_invariant_under_assign_split(cnf):
+    """#SAT(F) == #SAT(F|x) + #SAT(F|~x) for any variable x."""
+    total = brute_force_count(cnf)
+    pos = brute_force_count(CNF(cnf.assign(1).clauses, num_vars=MAX_VARS))
+    neg = brute_force_count(CNF(cnf.assign(-1).clauses, num_vars=MAX_VARS))
+    # assign() eliminates var 1; counts over the remaining space halve
+    assert total == (pos + neg) // 2

@@ -1,0 +1,104 @@
+"""Property-based tests: the distributed stack computes what plain
+recursion computes, for randomly generated programs and machines."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import HyperspaceStack
+from repro.recursion import Call, Result, Sync
+from repro.topology import FullyConnected, Hypercube, Ring, Torus
+
+topologies = st.sampled_from(
+    [
+        Ring(3),
+        Ring(7),
+        Torus((3, 3)),
+        Torus((4, 4)),
+        Torus((2, 2, 2)),
+        Hypercube(3),
+        FullyConnected(6),
+    ]
+)
+
+
+def tree_sum(spec):
+    """Layer-5 program summing a nested tuple tree ``(leaf | (t, t, ...))``."""
+    if isinstance(spec, int):
+        yield Result(spec)
+    else:
+        for child in spec:
+            yield Call(child)
+        results = yield Sync()
+        if len(spec) == 1:
+            results = (results,)
+        yield Result(sum(results))
+
+
+def plain_sum(spec):
+    if isinstance(spec, int):
+        return spec
+    return sum(plain_sum(c) for c in spec)
+
+
+tree_specs = st.recursive(
+    st.integers(-50, 50),
+    lambda children: st.lists(children, min_size=1, max_size=3).map(tuple),
+    max_leaves=12,
+)
+
+
+@given(tree_specs, topologies)
+@settings(max_examples=40, deadline=None)
+def test_distributed_tree_sum_matches_plain(spec, topo):
+    stack = HyperspaceStack(topo)
+    result, report = stack.run_recursive(tree_sum, spec)
+    assert result == plain_sum(spec)
+
+
+@given(tree_specs, st.sampled_from(["rr", "lbn", "random", "hint"]), st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_result_mapper_and_seed_independent(spec, mapper, seed):
+    stack = HyperspaceStack(Torus((3, 3)), mapper=mapper, seed=seed)
+    result, _ = stack.run_recursive(tree_sum, spec)
+    assert result == plain_sum(spec)
+
+
+@given(tree_specs)
+@settings(max_examples=20, deadline=None)
+def test_message_conservation(spec):
+    """Every sent message is delivered (reliable links, drain mode)."""
+    stack = HyperspaceStack(Torus((3, 3)))
+    _, report = stack.run_recursive(tree_sum, spec, halt_on_result=False)
+    assert report.quiescent
+    assert report.sent_total == report.delivered_total
+
+
+@given(tree_specs)
+@settings(max_examples=20, deadline=None)
+def test_invocations_equal_tree_nodes(spec):
+    def count_nodes(s):
+        if isinstance(s, int):
+            return 1
+        return 1 + sum(count_nodes(c) for c in s)
+
+    stack = HyperspaceStack(Torus((3, 3)))
+    stack.run_recursive(tree_sum, spec, halt_on_result=False)
+    stats = stack.last_run.engine_stats
+    assert stats.invocations == count_nodes(spec)
+    assert stats.completions == stats.invocations
+
+
+@given(st.integers(0, 40), topologies)
+@settings(max_examples=30, deadline=None)
+def test_linear_recursion_any_depth_any_machine(n, topo):
+    def countdown(k):
+        if k == 0:
+            yield Result(0)
+        else:
+            yield Call(k - 1)
+            sub = yield Sync()
+            yield Result(sub + 1)
+
+    stack = HyperspaceStack(topo)
+    result, _ = stack.run_recursive(countdown, n)
+    assert result == n

@@ -1,0 +1,61 @@
+"""Property-based tests for layer-1 simulator invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.apps.traversal import run_traversal, visited_nodes
+from repro.netsim import Machine
+from repro.topology import Grid, Hypercube, Ring, Torus
+
+machines = st.one_of(
+    st.integers(2, 7).map(lambda k: Torus((k, k))),
+    st.integers(2, 4).map(lambda k: Torus((k, k, k))),
+    st.integers(2, 7).map(lambda k: Grid((k, k))),
+    st.integers(2, 30).map(Ring),
+    st.integers(1, 5).map(Hypercube),
+)
+
+
+@given(machines, st.data())
+@settings(max_examples=40, deadline=None)
+def test_traversal_reaches_everything_from_any_start(topo, data):
+    start = data.draw(st.integers(0, topo.n_nodes - 1))
+    machine, report = run_traversal(topo, start=start)
+    assert len(visited_nodes(machine)) == topo.n_nodes
+    assert report.quiescent
+    assert report.sent_total == report.delivered_total
+
+
+@given(machines, st.data())
+@settings(max_examples=30, deadline=None)
+def test_traversal_finishes_within_eccentricity_plus_slack(topo, data):
+    start = data.draw(st.integers(0, topo.n_nodes - 1))
+    _, report = run_traversal(topo, start=start)
+    ecc = max(topo.distance(start, n) for n in topo.nodes())
+    # termination needs the wavefront (ecc steps) plus draining duplicate
+    # messages: a node receives up to degree copies, popped one per step
+    max_degree = max(topo.degree(n) for n in topo.nodes())
+    assert ecc <= report.steps <= ecc + max_degree + 1
+
+
+@given(machines)
+@settings(max_examples=25, deadline=None)
+def test_queued_series_conserves_messages(topo):
+    """At each step: queued(t) == queued(t-1) + sent_during(t) - delivered(t).
+
+    We verify the aggregate form: the final queue population is zero and
+    cumulative deliveries equal cumulative sends.
+    """
+    _, report = run_traversal(topo, start=0)
+    assert report.queued_series[-1] == 0
+    assert report.delivered_series.sum() == report.delivered_total
+
+
+@given(machines, st.integers(0, 2**30))
+@settings(max_examples=20, deadline=None)
+def test_simulation_fully_deterministic(topo, seed):
+    def run():
+        m, r = run_traversal(topo, start=0)
+        return (r.steps, r.sent_total, tuple(r.node_activity.tolist()))
+
+    assert run() == run()

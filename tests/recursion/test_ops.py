@@ -1,0 +1,78 @@
+"""Tests for layer-4 yield operations and coercion."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.recursion import Call, Choice, Result, Sync, coerce_op
+
+
+class TestCall:
+    def test_holds_args(self):
+        c = Call((1, 2))
+        assert c.args == (1, 2)
+        assert c.hint is None
+
+    def test_hint(self):
+        assert Call("x", hint=3.5).hint == 3.5
+
+    def test_repr(self):
+        assert "Call" in repr(Call(5))
+        assert "hint" in repr(Call(5, hint=1.0))
+
+
+class TestChoice:
+    def test_requires_callable_predicate(self):
+        with pytest.raises(ProtocolError):
+            Choice("not callable", Call(1))
+
+    def test_requires_at_least_one_call(self):
+        with pytest.raises(ProtocolError):
+            Choice(lambda r: True)
+
+    def test_rejects_non_calls(self):
+        with pytest.raises(ProtocolError):
+            Choice(lambda r: True, Call(1), "rogue")
+
+    def test_holds_calls(self):
+        ch = Choice(bool, Call(1), Call(2))
+        assert len(ch.calls) == 2
+
+
+class TestCoerceOp:
+    def test_passthrough(self):
+        for op in (Call(1), Sync(), Result(2), Choice(bool, Call(1))):
+            assert coerce_op(op) is op
+
+    def test_paper_list_form(self):
+        op = coerce_op([bool, Call(1), Call(2)])
+        assert isinstance(op, Choice)
+        assert op.is_valid is bool
+        assert len(op.calls) == 2
+
+    def test_tuple_form(self):
+        op = coerce_op((bool, Call(1)))
+        assert isinstance(op, Choice)
+
+    def test_rejects_plain_value(self):
+        with pytest.raises(ProtocolError):
+            coerce_op(42)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ProtocolError):
+            coerce_op([])
+
+    def test_rejects_list_without_predicate(self):
+        with pytest.raises(ProtocolError):
+            coerce_op([Call(1), Call(2)])
+
+    def test_rejects_predicate_without_calls(self):
+        with pytest.raises(ProtocolError):
+            coerce_op([bool])
+
+    def test_rejects_mixed_list(self):
+        with pytest.raises(ProtocolError):
+            coerce_op([bool, Call(1), 7])
+
+    def test_rejects_none(self):
+        with pytest.raises(ProtocolError):
+            coerce_op(None)

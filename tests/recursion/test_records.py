@@ -1,0 +1,109 @@
+"""Tests for call records and invocation bookkeeping."""
+
+from repro.mapping import Ticket
+from repro.recursion import CallRecord, Invocation
+
+
+def t(seq, node=0):
+    return Ticket(node, seq)
+
+
+class TestPlainCallRecord:
+    def test_resolves_on_single_result(self):
+        rec = CallRecord([t(0)], None)
+        assert not rec.resolved
+        assert rec.deliver(t(0), "value")
+        assert rec.resolved
+        assert rec.value == "value"
+
+    def test_outstanding(self):
+        rec = CallRecord([t(0)], None)
+        assert rec.outstanding() == [t(0)]
+        rec.deliver(t(0), 1)
+        assert rec.outstanding() == []
+
+    def test_is_choice_flag(self):
+        assert not CallRecord([t(0)], None).is_choice
+        assert CallRecord([t(0)], lambda r: True).is_choice
+
+    def test_duplicate_delivery_ignored(self):
+        rec = CallRecord([t(0)], None)
+        rec.deliver(t(0), "first")
+        assert not rec.deliver(t(0), "second")
+        assert rec.value == "first"
+
+
+class TestChoiceCallRecord:
+    def test_resolves_on_first_valid(self):
+        rec = CallRecord([t(0), t(1)], lambda r: r == "good")
+        assert not rec.deliver(t(0), "bad")
+        assert rec.deliver(t(1), "good")
+        assert rec.value == "good"
+
+    def test_all_invalid_resolves_to_none(self):
+        rec = CallRecord([t(0), t(1)], lambda r: False)
+        assert not rec.deliver(t(0), "a")
+        assert rec.deliver(t(1), "b")
+        assert rec.resolved
+        assert rec.value is None
+
+    def test_first_valid_wins_even_if_more_arrive(self):
+        rec = CallRecord([t(0), t(1), t(2)], lambda r: r is not None)
+        rec.deliver(t(1), "winner")
+        rec.deliver(t(0), "late")
+        assert rec.value == "winner"
+
+    def test_outstanding_after_partial(self):
+        rec = CallRecord([t(0), t(1), t(2)], lambda r: False)
+        rec.deliver(t(1), "x")
+        assert rec.outstanding() == [t(0), t(2)]
+
+
+class TestInvocation:
+    def make(self):
+        def gen():
+            yield None
+
+        return Invocation(0, gen(), None)
+
+    def test_batch_resolved_when_empty(self):
+        inv = self.make()
+        assert inv.batch_resolved()
+
+    def test_batch_resolved_tracks_records(self):
+        inv = self.make()
+        rec = CallRecord([t(0)], None)
+        inv.batch.append(rec)
+        assert not inv.batch_resolved()
+        rec.deliver(t(0), 1)
+        assert inv.batch_resolved()
+
+    def test_sync_value_single(self):
+        inv = self.make()
+        rec = CallRecord([t(0)], None)
+        rec.deliver(t(0), "only")
+        inv.batch.append(rec)
+        assert inv.sync_value() == "only"
+
+    def test_sync_value_multiple_is_tuple(self):
+        inv = self.make()
+        for i, val in enumerate(("a", "b", "c")):
+            rec = CallRecord([t(i)], None)
+            rec.deliver(t(i), val)
+            inv.batch.append(rec)
+        assert inv.sync_value() == ("a", "b", "c")
+
+    def test_sync_value_empty_batch(self):
+        assert self.make().sync_value() == ()
+
+    def test_outstanding_tickets_across_batch(self):
+        inv = self.make()
+        inv.batch.append(CallRecord([t(0), t(1)], lambda r: True))
+        inv.batch.append(CallRecord([t(2)], None))
+        assert inv.outstanding_tickets() == [t(0), t(1), t(2)]
+
+    def test_flags_default_false(self):
+        inv = self.make()
+        assert not inv.waiting_sync
+        assert not inv.done
+        assert not inv.cancelled

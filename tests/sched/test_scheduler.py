@@ -1,0 +1,229 @@
+"""Tests for the layer-2 process scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.netsim import Machine
+from repro.sched import Address, FunctionalProcess, SchedulerProgram
+from repro.topology import Ring, Torus
+
+
+def collector(log):
+    """Process that logs (node, pid, sender, payload) and stores payloads."""
+
+    def handler(ctx, sender, payload):
+        log.append((ctx.node, ctx.pid, sender, payload))
+        ctx.state = payload
+
+    return FunctionalProcess(handler)
+
+
+class TestBasicDelivery:
+    def test_trigger_goes_to_pid_zero(self):
+        log = []
+        prog = SchedulerProgram([collector(log), collector(log)])
+        m = Machine(Ring(4), prog)
+        m.inject(2, "hello")
+        m.run()
+        assert log == [(2, 0, None, "hello")]
+
+    def test_inter_node_process_addressing(self):
+        log = []
+
+        def sender_handler(ctx, sender, payload):
+            # forward to pid 1 on the first neighbour
+            ctx.send(Address(ctx.neighbours[0], 1), payload + 1)
+
+        prog = SchedulerProgram([FunctionalProcess(sender_handler), collector(log)])
+        m = Machine(Ring(4), prog)
+        m.inject(0, 10)
+        m.run()
+        assert log == [(3, 1, Address(0, 0), 11)]
+
+    def test_local_delivery_without_network(self):
+        log = []
+
+        def local_handler(ctx, sender, payload):
+            ctx.send(Address(ctx.node, 1), payload * 2)
+
+        prog = SchedulerProgram([FunctionalProcess(local_handler), collector(log)])
+        m = Machine(Ring(4), prog)
+        m.inject(1, 21)
+        report = m.run()
+        assert log == [(1, 1, Address(1, 0), 42)]
+        # only the trigger crossed the network
+        assert report.sent_total == 1
+
+    def test_reply_to_sender_address(self):
+        trace = []
+
+        def ping(ctx, sender, payload):
+            if sender is None:
+                ctx.send(Address(ctx.neighbours[0], 0), "ping")
+            elif payload == "ping":
+                trace.append(("ping-at", ctx.node))
+                ctx.send(sender, "pong")
+            else:
+                trace.append(("pong-at", ctx.node))
+
+        prog = SchedulerProgram([FunctionalProcess(ping)])
+        m = Machine(Ring(5), prog)
+        m.inject(0, None)
+        m.run()
+        assert trace == [("ping-at", 4), ("pong-at", 0)]
+
+    def test_unknown_pid_rejected(self):
+        def bad(ctx, sender, payload):
+            ctx.send(Address(ctx.neighbours[0], 7), "x")
+
+        prog = SchedulerProgram([FunctionalProcess(bad)])
+        m = Machine(Ring(4), prog)
+        m.inject(0, None)
+        with pytest.raises(SchedulingError):
+            m.run()
+
+    def test_needs_at_least_one_process(self):
+        with pytest.raises(SchedulingError):
+            SchedulerProgram([])
+
+
+class TestBudget:
+    def test_invalid_budget(self):
+        with pytest.raises(SchedulingError):
+            SchedulerProgram([collector([])], budget=0)
+
+    def test_budget_one_spreads_local_work_across_steps(self):
+        done_steps = []
+
+        def burst(ctx, sender, payload):
+            if payload == "go":
+                for i in range(3):
+                    ctx.send(Address(ctx.node, 1), i)
+
+        def worker(ctx, sender, payload):
+            done_steps.append(ctx.step)
+
+        prog = SchedulerProgram(
+            [FunctionalProcess(burst), FunctionalProcess(worker)], budget=1
+        )
+        m = Machine(Ring(3), prog)
+        m.inject(0, "go")
+        m.run()
+        # one local message per step after the burst
+        assert done_steps == sorted(done_steps)
+        assert len(set(done_steps)) == 3
+
+    def test_unlimited_budget_drains_same_step(self):
+        done_steps = []
+
+        def burst(ctx, sender, payload):
+            for i in range(4):
+                ctx.send(Address(ctx.node, 1), i)
+
+        def worker(ctx, sender, payload):
+            done_steps.append(ctx.step)
+
+        prog = SchedulerProgram(
+            [FunctionalProcess(burst), FunctionalProcess(worker)], budget=None
+        )
+        m = Machine(Ring(3), prog)
+        m.inject(0, "go")
+        m.run()
+        assert len(done_steps) == 4
+        assert len(set(done_steps)) == 1
+
+
+class TestPolicies:
+    def _two_worker_machine(self, policy_factory, order_log):
+        def burst(ctx, sender, payload):
+            # enqueue local work for pids 1 and 2 in one step
+            ctx.send(Address(ctx.node, 2), "late")
+            ctx.send(Address(ctx.node, 1), "early")
+
+        def worker(name):
+            def handler(ctx, sender, payload):
+                order_log.append(ctx.pid)
+
+            return FunctionalProcess(handler)
+
+        prog = SchedulerProgram(
+            [FunctionalProcess(burst), worker("a"), worker("b")],
+            policy_factory=policy_factory,
+            budget=1,
+        )
+        m = Machine(Ring(3), prog)
+        m.inject(0, None)
+        m.run()
+        return order_log
+
+    def test_round_robin_order(self):
+        from repro.sched import RoundRobinPolicy
+
+        order = self._two_worker_machine(RoundRobinPolicy, [])
+        assert sorted(order) == [1, 2]
+
+    def test_fifo_policy_respects_arrival(self):
+        from repro.sched import FifoPolicy
+
+        order = self._two_worker_machine(FifoPolicy, [])
+        # pid 2's message was sent first, so FIFO runs it first
+        assert order == [2, 1]
+
+    def test_priority_policy(self):
+        from repro.sched import PriorityPolicy
+
+        def factory():
+            p = PriorityPolicy()
+            p.set_priority(1, 10)
+            p.set_priority(2, 0)
+            return p
+
+        order = self._two_worker_machine(factory, [])
+        assert order == [1, 2]
+
+    def test_make_policy_registry(self):
+        import random
+
+        from repro.sched import make_policy
+
+        for name in ("round_robin", "priority", "fifo"):
+            assert make_policy(name) is not None
+        assert make_policy("random", random.Random(0)) is not None
+        with pytest.raises(SchedulingError):
+            make_policy("banana")
+        with pytest.raises(SchedulingError):
+            make_policy("random")  # missing rng
+
+
+class TestInspection:
+    def test_process_state_accessor(self):
+        log = []
+        prog = SchedulerProgram([collector(log)])
+        m = Machine(Ring(4), prog)
+        m.inject(0, "val")
+        m.run()
+        assert prog.process_state(m, 0, 0) == "val"
+
+    def test_process_state_bad_pid(self):
+        prog = SchedulerProgram([collector([])])
+        m = Machine(Ring(4), prog)
+        with pytest.raises(SchedulingError):
+            prog.process_state(m, 0, 5)
+
+    def test_n_processes(self):
+        prog = SchedulerProgram([collector([]), collector([])])
+        assert prog.n_processes == 2
+
+    def test_contexts_are_per_node(self):
+        states = {}
+
+        def handler(ctx, sender, payload):
+            ctx.state = (ctx.node, payload)
+            states[ctx.node] = ctx.state
+
+        prog = SchedulerProgram([FunctionalProcess(handler)])
+        m = Machine(Torus((2, 2)), prog)
+        for n in range(4):
+            m.inject(n, n * 10)
+        m.run()
+        assert states == {0: (0, 0), 1: (1, 10), 2: (2, 20), 3: (3, 30)}

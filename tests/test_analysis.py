@@ -1,0 +1,133 @@
+"""Tests for scalability-analysis utilities."""
+
+import pytest
+
+from repro.analysis import (
+    align_series,
+    amdahl_fit,
+    crossover_point,
+    parallel_efficiency,
+    saturation_point,
+    speedup_curve,
+)
+
+LINEAR = [(1, 1.0), (2, 2.0), (4, 4.0), (8, 8.0)]
+SATURATING = [(1, 1.0), (2, 1.9), (4, 3.0), (8, 3.2), (16, 3.25)]
+
+
+class TestSpeedup:
+    def test_linear(self):
+        assert speedup_curve(LINEAR) == [(1, 1.0), (2, 2.0), (4, 4.0), (8, 8.0)]
+
+    def test_normalised_to_first(self):
+        curve = speedup_curve([(4, 10.0), (8, 30.0)])
+        assert curve == [(4, 1.0), (8, 3.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_curve([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_curve([(4, 1.0), (2, 2.0)])
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_curve([(2, 1.0), (2, 2.0)])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_curve([(1, 0.0), (2, 1.0)])
+
+    def test_negative_perf_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_curve([(1, -1.0)])
+
+
+class TestEfficiency:
+    def test_perfect_scaling(self):
+        eff = parallel_efficiency(LINEAR)
+        assert all(e == pytest.approx(1.0) for _, e in eff)
+
+    def test_saturating_efficiency_declines(self):
+        eff = [e for _, e in parallel_efficiency(SATURATING)]
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[-1] < 0.3
+
+
+class TestSaturation:
+    def test_linear_saturates_at_top(self):
+        assert saturation_point(LINEAR) == 8
+
+    def test_saturating_curve(self):
+        assert saturation_point(SATURATING, tolerance=0.1) == 4
+        assert saturation_point(SATURATING, tolerance=0.01) == 16
+
+    def test_flat_curve_saturates_immediately(self):
+        assert saturation_point([(1, 5.0), (2, 5.0), (4, 5.0)]) == 1
+
+    def test_all_zero(self):
+        assert saturation_point([(1, 0.0), (2, 0.0)]) == 1
+
+
+class TestCrossover:
+    def test_basic_crossover(self):
+        slow_start = [(1, 0.5), (2, 1.5), (4, 4.0)]
+        steady = [(1, 1.0), (2, 2.0), (4, 3.0)]
+        assert crossover_point(slow_start, steady) == 4
+
+    def test_never_crosses(self):
+        low = [(1, 0.5), (2, 0.6)]
+        high = [(1, 1.0), (2, 2.0)]
+        assert crossover_point(low, high) is None
+
+    def test_leader_from_start_is_not_a_crossover(self):
+        assert crossover_point(LINEAR, SATURATING[:4]) is None
+
+    def test_no_common_cores_rejected(self):
+        with pytest.raises(ValueError):
+            crossover_point([(1, 1.0)], [(2, 1.0)])
+
+    def test_figure4_style_crossover(self):
+        # LBN below RR on small machines, above on large — like the paper
+        rr = [(9, 2.8), (64, 9.4), (196, 9.5), (1024, 9.5)]
+        lbn = [(9, 2.4), (64, 10.5), (196, 15.2), (1024, 15.3)]
+        assert crossover_point(lbn, rr) == 64
+
+
+class TestAlign:
+    def test_common_subset(self):
+        joined = align_series([(1, 1.0), (2, 2.0), (4, 3.0)], [(2, 5.0), (4, 6.0), (8, 7.0)])
+        assert joined == [(2, 2.0, 5.0), (4, 3.0, 6.0)]
+
+    def test_disjoint(self):
+        assert align_series([(1, 1.0)], [(2, 1.0)]) == []
+
+
+class TestAmdahl:
+    def test_perfectly_parallel(self):
+        serial, err = amdahl_fit(LINEAR)
+        assert serial == pytest.approx(0.0, abs=1e-9)
+        assert err < 1e-9
+
+    def test_fully_serial(self):
+        serial, err = amdahl_fit([(1, 1.0), (2, 1.0), (4, 1.0)])
+        assert serial == pytest.approx(1.0)
+        assert err < 1e-9
+
+    def test_half_serial(self):
+        # s = 0.5: speedup(n) = 1/(0.5 + 0.5/n)
+        series = [(1, 1.0), (2, 1 / 0.75), (4, 1 / 0.625), (8, 1 / 0.5625)]
+        serial, err = amdahl_fit(series)
+        assert serial == pytest.approx(0.5, abs=1e-6)
+        assert err < 1e-6
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            amdahl_fit([(4, 2.0)])
+
+    def test_on_measured_figure4_data(self):
+        # the measured 2D+RR curve from EXPERIMENTS.md: heavily serialised
+        series = [(9, 2.824e-3), (64, 9.447e-3), (1024, 9.452e-3)]
+        serial, _ = amdahl_fit(series)
+        assert 0.1 < serial < 1.0

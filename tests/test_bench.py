@@ -1,0 +1,159 @@
+"""Tests for the benchmark harness (figure drivers and report rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchPreset,
+    FIGURE5_TORUS_DIMS,
+    FULL,
+    QUICK,
+    figure4_series,
+    format_series_block,
+    format_table,
+    heatmap_ascii,
+    mesh_for,
+    render_figure4,
+    render_figure5,
+    run_figure4,
+    run_figure5,
+    sat_suite,
+    sparkline,
+)
+
+TINY = BenchPreset("tiny", 2, (9, 64))
+
+
+class TestPresetsAndSuites:
+    def test_preset_fields(self):
+        assert QUICK.n_problems == 6
+        assert FULL.n_problems == 20
+        assert FULL.core_counts[-1] == 1000
+
+    def test_sat_suite_deterministic(self):
+        assert sat_suite(TINY) == sat_suite(TINY)
+
+    def test_mesh_for(self):
+        assert mesh_for("torus2d", 196).shape == (14, 14)
+        assert mesh_for("torus3d", 27).shape == (3, 3, 3)
+        assert mesh_for("full", 50).n_nodes == 50
+        with pytest.raises(ValueError):
+            mesh_for("moebius", 4)
+
+    def test_series_match_paper(self):
+        labels = [s[0] for s in figure4_series()]
+        assert labels == [
+            "2D Torus + RR",
+            "3D Torus + RR",
+            "2D Torus + LBN",
+            "3D Torus + LBN",
+            "Fully connected",
+        ]
+
+    def test_figure5_machine_is_196_cores(self):
+        assert FIGURE5_TORUS_DIMS == (14, 14)
+
+
+class TestFigure4Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4(TINY)
+
+    def test_all_points_present(self, result):
+        # TINY's core counts snap to distinct machines in every series
+        assert len(result.points) == 5 * len(TINY.core_counts)
+
+    def test_series_ordered_by_size(self, result):
+        for label in result.labels():
+            pts = result.series(label)
+            sizes = [p.actual_cores for p in pts]
+            assert sizes == sorted(sizes)
+
+    def test_performance_is_inverse_ct(self, result):
+        for p in result.points:
+            assert p.performance == pytest.approx(1.0 / p.mean_ct)
+
+    def test_render_contains_all_series(self, result):
+        text = render_figure4(result)
+        for label in result.labels():
+            assert label in text
+
+    def test_performance_at_scale(self, result):
+        v = result.performance_at_scale("2D Torus + RR")
+        assert v > 0
+
+    def test_unknown_series_raises(self, result):
+        with pytest.raises(KeyError):
+            result.performance_at_scale("4D Torus")
+
+
+class TestFigure5Harness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure5(BenchPreset("tiny", 2, (196,)))
+
+    def test_traces_per_problem(self, result):
+        assert len(result.traces["rr"]) == 2
+        assert len(result.traces["lbn"]) == 2
+
+    def test_heatmap_shape(self, result):
+        assert result.heatmaps["rr"].shape == (14, 14)
+        assert result.heatmaps["lbn"].shape == (14, 14)
+
+    def test_lbn_spreads_wider(self, result):
+        assert result.active_nodes("lbn") > result.active_nodes("rr")
+
+    def test_peak_queued_positive(self, result):
+        assert result.peak_queued("rr") > 0
+
+    def test_render_mentions_both_mappers(self, result):
+        text = render_figure5(result)
+        assert "Round Robin" in text
+        assert "Least Busy Neighbour" in text
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+
+    def test_format_table_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T")
+
+    def test_sparkline_scaling(self):
+        line = sparkline([0, 5, 10])
+        assert len(line) == 3
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_buckets_long_series(self):
+        assert len(sparkline(list(range(1000)), width=50)) == 50
+
+    def test_sparkline_all_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_heatmap_digits(self):
+        grid = np.array([[0, 9], [4, 2]])
+        text = heatmap_ascii(grid)
+        assert "." in text and "9" in text
+
+    def test_heatmap_3d_sliced(self):
+        grid = np.ones((2, 2, 2), dtype=int)
+        text = heatmap_ascii(grid)
+        assert "[z=0]" in text and "[z=1]" in text
+
+    def test_heatmap_1d(self):
+        assert heatmap_ascii(np.array([1, 2, 3]))
+
+    def test_heatmap_bad_ndim(self):
+        with pytest.raises(ValueError):
+            heatmap_ascii(np.ones((2, 2, 2, 2)))
+
+    def test_series_block(self):
+        out = format_series_block({"a": [1, 2, 3], "b": [0, 0]})
+        assert "a" in out and "peak=3" in out

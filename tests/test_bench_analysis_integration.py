@@ -1,0 +1,48 @@
+"""Tests for figure-harness details: analysis rendering and point dedup."""
+
+import pytest
+
+from repro.bench import BenchPreset, render_figure4, run_figure4
+from repro.bench.figure4 import render_figure4_analysis
+
+
+@pytest.fixture(scope="module")
+def result():
+    # 8 and 9 cores both snap to the 2x2x2 torus for the 3D series:
+    # exercises the dedup path
+    return run_figure4(BenchPreset("t", 2, (8, 9, 64)))
+
+
+class TestDeduplication:
+    def test_no_duplicate_machine_sizes_within_series(self, result):
+        for label in result.labels():
+            sizes = [p.actual_cores for p in result.series(label)]
+            assert len(sizes) == len(set(sizes)), label
+
+    def test_3d_series_deduped(self, result):
+        sizes = [p.actual_cores for p in result.series("3D Torus + RR")]
+        assert sizes.count(8) == 1
+
+
+class TestAnalysisRendering:
+    def test_mentions_every_series(self, result):
+        text = render_figure4_analysis(result)
+        for label in result.labels():
+            assert label in text
+
+    def test_reports_saturation_and_crossover(self, result):
+        text = render_figure4_analysis(result)
+        assert "saturates at" in text
+        assert "adaptive overtakes static" in text
+        assert "Amdahl serial fraction" in text
+
+    def test_included_in_full_render(self, result):
+        assert "analysis:" in render_figure4(result)
+
+    def test_serial_fractions_in_unit_range(self, result):
+        from repro.analysis import amdahl_fit
+
+        for label in result.labels():
+            pts = [(p.actual_cores, p.performance) for p in result.series(label)]
+            serial, _ = amdahl_fit(pts)
+            assert 0.0 <= serial <= 1.0

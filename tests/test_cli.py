@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.apps.sat import load_dimacs, dpll_solve
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.topology == "torus2d:14x14"
+        assert args.mapper == "lbn"
+
+    def test_bad_mapper_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--mapper", "psychic"])
+
+
+class TestTopoCommand:
+    def test_torus(self, capsys):
+        assert main(["topo", "torus2d:4x4"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes      16" in out
+        assert "diameter   4" in out
+        assert "symmetric  yes" in out
+
+    def test_star_not_symmetric(self, capsys):
+        main(["topo", "star:5"])
+        assert "symmetric  no" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_writes_satisfiable_files(self, tmp_path, capsys):
+        rc = main([
+            "generate", str(tmp_path), "--count", "2",
+            "--vars", "12", "--clauses", "50", "--seed", "5",
+        ])
+        assert rc == 0
+        files = sorted(tmp_path.glob("*.cnf"))
+        assert len(files) == 2
+        for f in files:
+            cnf = load_dimacs(f)
+            assert cnf.num_vars == 12
+            assert cnf.num_clauses == 50
+            assert dpll_solve(cnf).satisfiable
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        main(["generate", str(a), "--count", "1", "--seed", "9"])
+        main(["generate", str(b), "--count", "1", "--seed", "9"])
+        fa, fb = next(a.glob("*.cnf")), next(b.glob("*.cnf"))
+        assert fa.read_text() == fb.read_text()
+
+    def test_planted_variant(self, tmp_path):
+        rc = main(["generate", str(tmp_path), "--count", "1", "--planted"])
+        assert rc == 0
+
+
+class TestSolveCommand:
+    def test_generated_instance(self, capsys):
+        rc = main(["solve", "--topology", "torus2d:6x6", "--quiet", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("s SATISFIABLE")
+        assert "v " in out
+
+    def test_dimacs_file(self, tmp_path, capsys):
+        path = tmp_path / "p.cnf"
+        path.write_text("p cnf 2 2\n1 0\n-1 2 0\n")
+        rc = main(["solve", str(path), "--topology", "ring:6", "--quiet"])
+        assert rc == 0
+        assert "s SATISFIABLE" in capsys.readouterr().out
+
+    def test_unsat_file(self, tmp_path, capsys):
+        path = tmp_path / "u.cnf"
+        path.write_text("p cnf 1 2\n1 0\n-1 0\n")
+        rc = main(["solve", str(path), "--topology", "ring:6", "--quiet"])
+        assert rc == 0
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_profile_output(self, capsys):
+        rc = main(["solve", "--topology", "torus2d:4x4", "--seed", "2",
+                   "--simplify", "fixpoint"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "c computation time" in out
+        assert "c node activity heatmap:" in out
+
+    def test_model_printed_in_dimacs_style(self, tmp_path, capsys):
+        path = tmp_path / "p.cnf"
+        path.write_text("p cnf 2 1\n1 2 0\n")
+        main(["solve", str(path), "--topology", "ring:4", "--quiet"])
+        out = capsys.readouterr().out
+        vline = [l for l in out.splitlines() if l.startswith("v ")][0]
+        assert vline.endswith(" 0")

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_layer_specific_parents(self):
+        assert issubclass(errors.AdjacencyError, errors.SimulationError)
+        assert issubclass(errors.QueueOverflowError, errors.SimulationError)
+        assert issubclass(errors.UnknownTicketError, errors.MappingError)
+        assert issubclass(errors.ProtocolError, errors.RecursionLayerError)
+        assert issubclass(errors.DimacsFormatError, errors.ApplicationError)
+
+    def test_catch_all_layers_with_base(self):
+        for exc_type in (
+            errors.TopologyError,
+            errors.SimulationError,
+            errors.SchedulingError,
+            errors.MappingError,
+            errors.RecursionLayerError,
+            errors.ApplicationError,
+        ):
+            with pytest.raises(errors.ReproError):
+                raise exc_type("boom")
+
+    def test_library_raises_only_repro_errors_for_bad_topology(self):
+        from repro.topology import Torus
+
+        with pytest.raises(errors.ReproError):
+            Torus(())
+        with pytest.raises(errors.ReproError):
+            Torus((3, 3)).check_node(99)

@@ -1,0 +1,100 @@
+"""Tests for the generic Topology base-class machinery."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Grid, Hypercube, Ring, Star, Torus
+from tests.conftest import all_small_topologies
+
+
+@pytest.mark.parametrize("topo", all_small_topologies(), ids=lambda t: t.describe())
+class TestGenericInvariants:
+    def test_nodes_range(self, topo):
+        assert list(topo.nodes()) == list(range(topo.n_nodes))
+
+    def test_neighbours_valid_ids(self, topo):
+        for n in topo.nodes():
+            for m in topo.neighbours(n):
+                assert 0 <= m < topo.n_nodes
+                assert m != n
+
+    def test_edges_undirected_consistency(self, topo):
+        edges = set(topo.edges())
+        for a, b in edges:
+            assert a < b
+            assert topo.is_adjacent(a, b)
+            assert topo.is_adjacent(b, a)
+
+    def test_handshake_lemma(self, topo):
+        assert sum(topo.degree(n) for n in topo.nodes()) == 2 * topo.n_links()
+
+    def test_connected(self, topo):
+        assert topo.is_connected()
+
+    def test_diameter_consistent_with_distances(self, topo):
+        diam = topo.diameter()
+        # the diameter is achieved and never exceeded (sampled pairs)
+        step = max(1, topo.n_nodes // 6)
+        assert all(
+            topo.distance(a, b) <= diam
+            for a in range(0, topo.n_nodes, step)
+            for b in range(0, topo.n_nodes, step)
+        )
+
+    def test_adjacency_lists_materialisation(self, topo):
+        lists = topo.adjacency_lists()
+        assert len(lists) == topo.n_nodes
+        for n, neigh in enumerate(lists):
+            assert neigh == tuple(topo.neighbours(n))
+
+
+class TestCheckNode:
+    def test_rejects_out_of_range(self):
+        t = Ring(4)
+        for bad in (-1, 4, 100):
+            with pytest.raises(TopologyError):
+                t.check_node(bad)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TopologyError):
+            Ring(4).check_node("2")
+
+    def test_accepts_valid(self):
+        Ring(4).check_node(3)
+
+
+class TestShortestPath:
+    def test_path_on_torus(self):
+        t = Torus((4, 4))
+        path = t.shortest_path(0, 10)
+        assert path[0] == 0 and path[-1] == 10
+        assert len(path) == t.distance(0, 10) + 1
+
+    def test_trivial_path(self):
+        assert Ring(5).shortest_path(2, 2) == [2]
+
+    def test_star_path_through_hub(self):
+        s = Star(5)
+        assert s.shortest_path(1, 3) == [1, 0, 3]
+
+
+class TestDefaultCoords:
+    def test_star_uses_1d_default(self):
+        s = Star(4)
+        assert s.coords(2) == (2,)
+        assert s.node_at((2,)) == 2
+        assert s.shape == (4,)
+
+    def test_node_at_wrong_arity(self):
+        with pytest.raises(TopologyError):
+            Star(4).node_at((1, 2))
+
+
+class TestNodeSymmetryHeuristic:
+    def test_symmetric_families(self):
+        for topo in (Torus((4, 4)), Hypercube(3), Ring(6)):
+            assert topo.is_node_symmetric()
+
+    def test_asymmetric_families(self):
+        for topo in (Grid((3, 3)), Star(4)):
+            assert not topo.is_node_symmetric()

@@ -1,0 +1,90 @@
+"""Tests for running guest topologies virtualised on hosts via embeddings."""
+
+import pytest
+
+from repro import HyperspaceStack
+from repro.apps.fib import fib, sequential_fib
+from repro.apps.traversal import run_traversal, visited_nodes
+from repro.netsim import Machine
+from repro.topology import (
+    CompleteTree,
+    Grid,
+    Hypercube,
+    Ring,
+    embed_grid_in_hypercube,
+    embed_ring_in_hypercube,
+    embed_tree_in_hypercube,
+    embedding_latency,
+)
+
+
+class TestEmbeddingLatency:
+    def test_dilation_one_embedding_is_free(self):
+        grid = Grid((4, 4))
+        emb = embed_grid_in_hypercube(grid, Hypercube(4))
+        lat = embedding_latency(emb)
+        assert all(lat(a, b) == 0 for a, b in grid.edges())
+
+    def test_ring_embedding_is_free(self):
+        ring = Ring(16)
+        emb = embed_ring_in_hypercube(ring, Hypercube(4))
+        lat = embedding_latency(emb)
+        assert all(lat(a, b) == 0 for a, b in ring.edges())
+
+    def test_tree_embedding_charges_dilated_links(self):
+        tree = CompleteTree(2, 4)
+        emb = embed_tree_in_hypercube(tree, Hypercube(4))
+        lat = embedding_latency(emb)
+        extras = [lat(a, b) for a, b in tree.edges()]
+        assert max(extras) == emb.dilation() - 1
+        assert min(extras) >= 0
+
+    def test_latency_symmetric(self):
+        tree = CompleteTree(2, 4)
+        emb = embed_tree_in_hypercube(tree, Hypercube(4))
+        lat = embedding_latency(emb)
+        for a, b in tree.edges():
+            assert lat(a, b) == lat(b, a)
+
+
+class TestVirtualisedExecution:
+    def test_results_identical_native_vs_embedded(self):
+        tree = CompleteTree(2, 4)
+        emb = embed_tree_in_hypercube(tree, Hypercube(4))
+        native, _ = HyperspaceStack(tree).run_recursive(fib, 9)
+        embedded, _ = HyperspaceStack(
+            tree, latency=embedding_latency(emb)
+        ).run_recursive(fib, 9)
+        assert native == embedded == sequential_fib(9)
+
+    def test_dilated_embedding_costs_steps(self):
+        tree = CompleteTree(2, 4)
+        emb = embed_tree_in_hypercube(tree, Hypercube(4))
+        _, rep_native = HyperspaceStack(tree).run_recursive(
+            fib, 10, halt_on_result=False
+        )
+        _, rep_emb = HyperspaceStack(
+            tree, latency=embedding_latency(emb)
+        ).run_recursive(fib, 10, halt_on_result=False)
+        assert rep_emb.computation_time > rep_native.computation_time
+
+    def test_free_embedding_costs_nothing(self):
+        grid = Grid((4, 4))
+        emb = embed_grid_in_hypercube(grid, Hypercube(4))
+        _, rep_native = HyperspaceStack(grid).run_recursive(
+            fib, 9, halt_on_result=False
+        )
+        _, rep_emb = HyperspaceStack(
+            grid, latency=embedding_latency(emb)
+        ).run_recursive(fib, 9, halt_on_result=False)
+        assert rep_emb.computation_time == rep_native.computation_time
+
+    def test_traversal_on_embedded_machine(self):
+        tree = CompleteTree(2, 4)
+        emb = embed_tree_in_hypercube(tree, Hypercube(4))
+        from repro.apps.traversal import traversal_program
+
+        machine = Machine(tree, traversal_program(), latency=embedding_latency(emb))
+        machine.inject(0, None)
+        machine.run()
+        assert len(visited_nodes(machine)) == tree.n_nodes

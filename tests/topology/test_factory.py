@@ -1,0 +1,146 @@
+"""Tests for topology spec parsing and mesh sizing helpers."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    CompleteTree,
+    FullyConnected,
+    Grid,
+    Hypercube,
+    Line,
+    Ring,
+    Star,
+    Torus,
+    balanced_dims,
+    nearest_mesh_dims,
+    topology_from_spec,
+)
+
+
+class TestSpecParsing:
+    def test_torus_with_dims(self):
+        t = topology_from_spec("torus:14x14")
+        assert isinstance(t, Torus)
+        assert t.shape == (14, 14)
+
+    def test_torus2d_single_size(self):
+        t = topology_from_spec("torus2d:196")
+        assert t.shape == (14, 14)
+
+    def test_torus3d_single_size(self):
+        t = topology_from_spec("torus3d:27")
+        assert t.shape == (3, 3, 3)
+
+    def test_torus2d_explicit_dims(self):
+        t = topology_from_spec("torus2d:4x5")
+        assert t.shape == (4, 5)
+
+    def test_grid(self):
+        g = topology_from_spec("grid:3x4")
+        assert isinstance(g, Grid)
+        assert g.n_nodes == 12
+
+    def test_hypercube(self):
+        h = topology_from_spec("hypercube:5")
+        assert isinstance(h, Hypercube)
+        assert h.n_nodes == 32
+
+    def test_full(self):
+        f = topology_from_spec("full:100")
+        assert isinstance(f, FullyConnected)
+        assert f.n_nodes == 100
+
+    def test_full_aliases(self):
+        assert isinstance(topology_from_spec("complete:5"), FullyConnected)
+        assert isinstance(topology_from_spec("fully_connected:5"), FullyConnected)
+
+    def test_ring_line_star(self):
+        assert isinstance(topology_from_spec("ring:9"), Ring)
+        assert isinstance(topology_from_spec("line:9"), Line)
+        assert isinstance(topology_from_spec("star:9"), Star)
+
+    def test_tree(self):
+        t = topology_from_spec("tree:2x4")
+        assert isinstance(t, CompleteTree)
+        assert t.n_nodes == 15
+
+    def test_case_insensitive(self):
+        assert topology_from_spec("TORUS:4x4").n_nodes == 16
+
+    def test_whitespace_tolerated(self):
+        assert topology_from_spec("  torus:4x4  ").n_nodes == 16
+
+    def test_unknown_kind(self):
+        with pytest.raises(TopologyError):
+            topology_from_spec("banana:4")
+
+    def test_missing_params(self):
+        with pytest.raises(TopologyError):
+            topology_from_spec("torus")
+
+    def test_empty_spec(self):
+        with pytest.raises(TopologyError):
+            topology_from_spec("")
+
+    def test_bad_extents(self):
+        with pytest.raises(TopologyError):
+            topology_from_spec("torus:4xflop")
+
+    def test_torus3d_wrong_arity(self):
+        with pytest.raises(TopologyError):
+            topology_from_spec("torus3d:4x4")
+
+    def test_tree_wrong_arity(self):
+        with pytest.raises(TopologyError):
+            topology_from_spec("tree:5")
+
+
+class TestBalancedDims:
+    def test_perfect_square(self):
+        assert balanced_dims(196, 2) == (14, 14)
+
+    def test_rectangular(self):
+        assert balanced_dims(12, 2) == (3, 4)
+
+    def test_cube(self):
+        assert balanced_dims(27, 3) == (3, 3, 3)
+
+    def test_prime_degenerates(self):
+        assert balanced_dims(7, 2) == (1, 7)
+
+    def test_one_dim(self):
+        assert balanced_dims(10, 1) == (10,)
+
+    def test_product_invariant(self):
+        for n in (6, 24, 36, 100, 60):
+            dims = balanced_dims(n, 3)
+            prod = 1
+            for d in dims:
+                prod *= d
+            assert prod == n
+
+    def test_invalid_args(self):
+        with pytest.raises(TopologyError):
+            balanced_dims(0, 2)
+        with pytest.raises(TopologyError):
+            balanced_dims(4, 0)
+
+
+class TestNearestMeshDims:
+    def test_exact_square(self):
+        assert nearest_mesh_dims(196, 2) == (14, 14)
+
+    def test_rounds_to_nearest(self):
+        assert nearest_mesh_dims(200, 2) == (14, 14)  # 196 closer than 225
+        assert nearest_mesh_dims(220, 2) == (15, 15)
+
+    def test_cube(self):
+        assert nearest_mesh_dims(1000, 3) == (10, 10, 10)
+
+    def test_minimum_one(self):
+        assert nearest_mesh_dims(1, 2) == (1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            nearest_mesh_dims(-1, 2)

@@ -1,0 +1,98 @@
+"""Tests for the hypercube topology (paper §II-A properties)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Hypercube
+
+
+class TestHypercubeStructure:
+    def test_node_count(self):
+        for d in range(0, 8):
+            assert Hypercube(d).n_nodes == 2**d
+
+    def test_degree_equals_dimension(self):
+        h = Hypercube(5)
+        assert all(h.degree(n) == 5 for n in h.nodes())
+
+    def test_link_count(self):
+        # paper: "for 2^n nodes, there are nN/2 links"
+        for d in (1, 2, 3, 4, 5):
+            h = Hypercube(d)
+            assert h.n_links() == d * h.n_nodes // 2
+
+    def test_diameter_equals_dimension(self):
+        # paper: "any two nodes are at most n links apart"
+        for d in (1, 2, 3, 4, 5):
+            assert Hypercube(d).diameter() == d
+
+    def test_node_symmetric(self):
+        # paper: "all nodes have symmetric perspectives"
+        assert Hypercube(4).is_node_symmetric()
+
+    def test_neighbours_differ_by_one_bit(self):
+        h = Hypercube(4)
+        for n in h.nodes():
+            for m in h.neighbours(n):
+                assert (n ^ m).bit_count() == 1
+
+    def test_zero_dimension(self):
+        h = Hypercube(0)
+        assert h.n_nodes == 1
+        assert h.neighbours(0) == ()
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(-1)
+
+    def test_huge_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            Hypercube(25)
+
+    def test_connected(self):
+        assert Hypercube(4).is_connected()
+
+
+class TestHypercubeDistance:
+    def test_distance_is_hamming(self):
+        h = Hypercube(4)
+        assert h.distance(0b0000, 0b1111) == 4
+        assert h.distance(0b0101, 0b0110) == 2
+
+    def test_distance_matches_bfs(self):
+        h = Hypercube(4)
+        for a in (0, 5, 15):
+            bfs = h._bfs_distances(a)
+            for b in h.nodes():
+                assert h.distance(a, b) == bfs[b]
+
+    def test_self_distance(self):
+        assert Hypercube(3).distance(5, 5) == 0
+
+
+class TestHypercubeCoordinates:
+    def test_coords_are_bits(self):
+        h = Hypercube(3)
+        assert h.coords(0b101) == (1, 0, 1)
+
+    def test_roundtrip(self):
+        h = Hypercube(4)
+        for n in h.nodes():
+            assert h.node_at(h.coords(n)) == n
+
+    def test_node_at_rejects_non_bits(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).node_at((1, 2, 0))
+
+    def test_node_at_rejects_wrong_length(self):
+        with pytest.raises(TopologyError):
+            Hypercube(3).node_at((1, 0))
+
+    def test_shape(self):
+        assert Hypercube(3).shape == (2, 2, 2)
+
+    def test_dimension_property(self):
+        assert Hypercube(6).dimension == 6
+
+    def test_describe(self):
+        assert "hypercube" in Hypercube(3).describe()

@@ -1,0 +1,132 @@
+"""Tests for fully connected, star and tree topologies."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import CompleteTree, FullyConnected, Star
+
+
+class TestFullyConnected:
+    def test_degree(self):
+        f = FullyConnected(8)
+        assert all(f.degree(n) == 7 for n in f.nodes())
+
+    def test_neighbour_rotation_starts_after_self(self):
+        f = FullyConnected(5)
+        assert f.neighbours(2) == (3, 4, 0, 1)
+
+    def test_neighbours_exclude_self(self):
+        f = FullyConnected(6)
+        for n in f.nodes():
+            assert n not in f.neighbours(n)
+
+    def test_all_pairs_adjacent(self):
+        f = FullyConnected(5)
+        for a in f.nodes():
+            for b in f.nodes():
+                assert f.is_adjacent(a, b) == (a != b)
+
+    def test_distance(self):
+        f = FullyConnected(4)
+        assert f.distance(0, 0) == 0
+        assert f.distance(0, 3) == 1
+
+    def test_diameter(self):
+        assert FullyConnected(5).diameter() == 1
+        assert FullyConnected(1).diameter() == 0
+
+    def test_link_count(self):
+        assert FullyConnected(6).n_links() == 15
+
+    def test_node_symmetric(self):
+        assert FullyConnected(7).is_node_symmetric()
+
+    def test_single_node(self):
+        f = FullyConnected(1)
+        assert f.neighbours(0) == ()
+
+    def test_invalid_size(self):
+        with pytest.raises(TopologyError):
+            FullyConnected(0)
+
+    def test_neighbour_cache_consistency(self):
+        f = FullyConnected(5)
+        assert f.neighbours(3) is f.neighbours(3)  # cached tuple reused
+
+
+class TestStar:
+    def test_hub_degree(self):
+        s = Star(7)
+        assert s.degree(0) == 6
+
+    def test_leaf_degree(self):
+        s = Star(7)
+        assert all(s.degree(n) == 1 for n in range(1, 7))
+
+    def test_leaf_to_leaf_distance(self):
+        assert Star(5).distance(1, 4) == 2
+
+    def test_hub_distance(self):
+        assert Star(5).distance(0, 3) == 1
+
+    def test_diameter(self):
+        assert Star(5).diameter() == 2
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            Star(1)
+
+    def test_not_node_symmetric(self):
+        assert not Star(4).is_node_symmetric()
+
+
+class TestCompleteTree:
+    def test_binary_tree_node_count(self):
+        assert CompleteTree(2, 4).n_nodes == 15
+
+    def test_ternary_tree_node_count(self):
+        assert CompleteTree(3, 3).n_nodes == 13
+
+    def test_unary_tree_is_path(self):
+        t = CompleteTree(1, 5)
+        assert t.n_nodes == 5
+        assert t.degree(0) == 1
+        assert t.degree(2) == 2
+
+    def test_root_has_no_parent(self):
+        assert CompleteTree(2, 3).parent(0) is None
+
+    def test_parent_child_consistency(self):
+        t = CompleteTree(2, 4)
+        for n in range(1, t.n_nodes):
+            p = t.parent(n)
+            assert n in t.neighbours(p)
+
+    def test_depth(self):
+        t = CompleteTree(2, 4)
+        assert t.depth(0) == 0
+        assert t.depth(1) == 1
+        assert t.depth(14) == 3
+
+    def test_leaf_degree(self):
+        t = CompleteTree(2, 3)
+        for n in range(3, 7):
+            assert t.degree(n) == 1
+
+    def test_diameter(self):
+        assert CompleteTree(2, 4).diameter() == 6
+
+    def test_connected(self):
+        assert CompleteTree(3, 3).is_connected()
+
+    def test_invalid_arity(self):
+        with pytest.raises(TopologyError):
+            CompleteTree(0, 3)
+
+    def test_invalid_levels(self):
+        with pytest.raises(TopologyError):
+            CompleteTree(2, 0)
+
+    def test_tree_edge_count(self):
+        t = CompleteTree(2, 5)
+        assert t.n_links() == t.n_nodes - 1

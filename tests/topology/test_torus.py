@@ -1,0 +1,235 @@
+"""Tests for torus, grid, ring and line topologies."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import Grid, Line, Ring, Torus
+
+
+class TestTorusConstruction:
+    def test_2d_node_count(self):
+        assert Torus((4, 5)).n_nodes == 20
+
+    def test_3d_node_count(self):
+        assert Torus((3, 4, 5)).n_nodes == 60
+
+    def test_1d_is_ring(self):
+        t = Torus((6,))
+        assert t.n_nodes == 6
+        assert set(t.neighbours(0)) == {5, 1}
+
+    def test_shape_property(self):
+        assert Torus((4, 5)).shape == (4, 5)
+
+    def test_ndim(self):
+        assert Torus((2, 2, 2, 2)).ndim == 4
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(TopologyError):
+            Torus(())
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(TopologyError):
+            Torus((4, 0))
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(TopologyError):
+            Torus((-2, 3))
+
+    def test_describe_mentions_dims(self):
+        assert "14x14" in Torus((14, 14)).describe()
+
+
+class TestTorusCoordinates:
+    def test_roundtrip_all_nodes(self):
+        t = Torus((3, 4, 5))
+        for n in t.nodes():
+            assert t.node_at(t.coords(n)) == n
+
+    def test_row_major_order(self):
+        t = Torus((3, 4))
+        assert t.coords(0) == (0, 0)
+        assert t.coords(1) == (0, 1)
+        assert t.coords(4) == (1, 0)
+
+    def test_node_at_out_of_bounds(self):
+        with pytest.raises(TopologyError):
+            Torus((3, 3)).node_at((3, 0))
+
+    def test_node_at_wrong_arity(self):
+        with pytest.raises(TopologyError):
+            Torus((3, 3)).node_at((1,))
+
+    def test_invalid_node_id(self):
+        with pytest.raises(TopologyError):
+            Torus((3, 3)).coords(9)
+
+    def test_negative_node_id(self):
+        with pytest.raises(TopologyError):
+            Torus((3, 3)).coords(-1)
+
+
+class TestTorusNeighbours:
+    def test_degree_2d(self):
+        t = Torus((4, 4))
+        assert all(t.degree(n) == 4 for n in t.nodes())
+
+    def test_degree_3d(self):
+        t = Torus((3, 3, 3))
+        assert all(t.degree(n) == 6 for n in t.nodes())
+
+    def test_degree_extent_two_axis(self):
+        # extent-2 axes contribute one link, not two
+        t = Torus((2, 4))
+        assert all(t.degree(n) == 3 for n in t.nodes())
+
+    def test_degree_extent_one_axis(self):
+        # extent-1 axes contribute no links
+        t = Torus((1, 4))
+        assert all(t.degree(n) == 2 for n in t.nodes())
+
+    def test_neighbour_symmetry(self):
+        t = Torus((4, 5))
+        for a in t.nodes():
+            for b in t.neighbours(a):
+                assert a in t.neighbours(b)
+
+    def test_no_self_loops(self):
+        t = Torus((3, 3))
+        for n in t.nodes():
+            assert n not in t.neighbours(n)
+
+    def test_no_duplicate_neighbours(self):
+        for dims in [(2, 2), (2, 3), (3, 3), (2, 2, 2)]:
+            t = Torus(dims)
+            for n in t.nodes():
+                neigh = t.neighbours(n)
+                assert len(neigh) == len(set(neigh)), dims
+
+    def test_wraparound(self):
+        t = Torus((4, 4))
+        # node (0,0) is adjacent to (3,0) and (0,3) via wrap links
+        assert t.node_at((3, 0)) in t.neighbours(t.node_at((0, 0)))
+        assert t.node_at((0, 3)) in t.neighbours(t.node_at((0, 0)))
+
+    def test_link_count_2d(self):
+        # k-ary n-cube with k>2: n*N links
+        t = Torus((4, 4))
+        assert t.n_links() == 2 * 16
+
+    def test_neighbour_order_deterministic(self):
+        t = Torus((4, 4))
+        assert t.neighbours(5) == t.neighbours(5)
+
+
+class TestTorusDistance:
+    def test_self_distance(self):
+        assert Torus((4, 4)).distance(3, 3) == 0
+
+    def test_adjacent_distance(self):
+        t = Torus((4, 4))
+        for n in t.neighbours(0):
+            assert t.distance(0, n) == 1
+
+    def test_wrap_shortcut(self):
+        t = Torus((8,))
+        assert t.distance(0, 7) == 1
+        assert t.distance(0, 4) == 4
+
+    def test_closed_form_matches_bfs(self):
+        t = Torus((3, 4))
+        for a in t.nodes():
+            bfs = t._bfs_distances(a)
+            for b in t.nodes():
+                assert t.distance(a, b) == bfs[b]
+
+    def test_diameter(self):
+        assert Torus((4, 4)).diameter() == 4
+        assert Torus((3, 3, 3)).diameter() == 3
+        assert Torus((14, 14)).diameter() == 14
+
+    def test_symmetry(self):
+        t = Torus((3, 5))
+        for a in range(0, t.n_nodes, 3):
+            for b in range(0, t.n_nodes, 4):
+                assert t.distance(a, b) == t.distance(b, a)
+
+
+class TestGrid:
+    def test_no_wraparound(self):
+        g = Grid((4, 4))
+        assert g.node_at((3, 0)) not in g.neighbours(g.node_at((0, 0)))
+
+    def test_corner_degree(self):
+        g = Grid((4, 4))
+        assert g.degree(g.node_at((0, 0))) == 2
+
+    def test_edge_degree(self):
+        g = Grid((4, 4))
+        assert g.degree(g.node_at((0, 1))) == 3
+
+    def test_interior_degree(self):
+        g = Grid((4, 4))
+        assert g.degree(g.node_at((1, 1))) == 4
+
+    def test_distance_is_l1(self):
+        g = Grid((5, 5))
+        assert g.distance(g.node_at((0, 0)), g.node_at((4, 4))) == 8
+
+    def test_diameter(self):
+        assert Grid((4, 4)).diameter() == 6
+
+    def test_not_node_symmetric(self):
+        assert not Grid((3, 3)).is_node_symmetric()
+
+    def test_torus_is_node_symmetric(self):
+        assert Torus((3, 3)).is_node_symmetric()
+
+    def test_connected(self):
+        assert Grid((3, 4)).is_connected()
+
+    def test_shortest_path_endpoints(self):
+        g = Grid((4, 4))
+        path = g.shortest_path(0, 15)
+        assert path[0] == 0 and path[-1] == 15
+        assert len(path) == g.distance(0, 15) + 1
+        for a, b in zip(path, path[1:]):
+            assert g.is_adjacent(a, b)
+
+
+class TestRingAndLine:
+    def test_ring_degree(self):
+        r = Ring(6)
+        assert all(r.degree(n) == 2 for n in r.nodes())
+
+    def test_ring_of_two(self):
+        r = Ring(2)
+        assert r.neighbours(0) == (1,)
+
+    def test_ring_of_one(self):
+        r = Ring(1)
+        assert r.neighbours(0) == ()
+
+    def test_ring_invalid(self):
+        with pytest.raises(TopologyError):
+            Ring(0)
+
+    def test_line_end_degree(self):
+        l = Line(5)
+        assert l.degree(0) == 1
+        assert l.degree(4) == 1
+        assert l.degree(2) == 2
+
+    def test_line_diameter(self):
+        assert Line(7).diameter() == 6
+
+    def test_ring_diameter(self):
+        assert Ring(8).diameter() == 4
+        assert Ring(7).diameter() == 3
+
+    def test_describe(self):
+        assert Ring(8).describe() == "ring(8)"
+        assert Line(8).describe() == "line(8)"
+
+    def test_len_protocol(self):
+        assert len(Ring(9)) == 9
