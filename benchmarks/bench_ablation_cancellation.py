@@ -11,38 +11,40 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.sat import solve_on_machine
 from repro.bench import format_table, sat_suite
+from repro.parallel import SatTask, solve_sat_tasks
 from repro.topology import Torus
 
 DIMS = (10, 10)
+CONFIGS = (("ignore (paper)", False), ("cancel", True))
 
 
-def run_cancellation_sweep(preset):
+def run_cancellation_sweep(preset, jobs=None):
     problems = sat_suite(preset)
+    tasks = [
+        SatTask(
+            cnf,
+            Torus(DIMS),
+            cancellation=cancellation,
+            simplify="none",
+            seed=preset.seed + i,
+            max_steps=preset.max_steps,
+        )
+        for _, cancellation in CONFIGS
+        for i, cnf in enumerate(problems)
+    ]
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+    n = len(problems)
     rows = []
-    for label, cancellation in (("ignore (paper)", False), ("cancel", True)):
-        cts, sents, completions = [], [], []
-        for i, cnf in enumerate(problems):
-            res = solve_on_machine(
-                cnf,
-                Torus(DIMS),
-                cancellation=cancellation,
-                simplify="none",
-                seed=preset.seed + i,
-                max_steps=preset.max_steps,
-            )
-            assert res.verified
-            cts.append(res.report.computation_time)
-            sents.append(res.report.sent_total)
-            completions.append(res.engine_stats.completions)
-        n = len(problems)
+    for j, (label, _) in enumerate(CONFIGS):
+        outs = outcomes[j * n : (j + 1) * n]
+        assert all(o.verified for o in outs)
         rows.append(
             {
                 "config": label,
-                "ct": sum(cts) / n,
-                "sent": sum(sents) / n,
-                "completions": sum(completions) / n,
+                "ct": sum(o.computation_time for o in outs) / n,
+                "sent": sum(o.sent_total for o in outs) / n,
+                "completions": sum(o.completions for o in outs) / n,
             }
         )
     return rows

@@ -13,39 +13,45 @@ import random
 
 import pytest
 
-from repro.apps.sat import dpll_solve, solve_on_machine
+from repro.apps.sat import dpll_solve
 from repro.bench import format_table, sat_suite
+from repro.parallel import SatTask, solve_sat_tasks
 from repro.topology import Torus
 
 HEURISTICS = ("first", "max_occurrence", "jeroslow_wang", "moms")
 DIMS = (10, 10)
 
 
-def run_heuristic_sweep(preset):
+def run_heuristic_sweep(preset, jobs=None):
     problems = sat_suite(preset)
+    tasks = [
+        SatTask(
+            cnf,
+            Torus(DIMS),
+            heuristic=heuristic,
+            simplify="single",
+            seed=preset.seed + i,
+            max_steps=preset.max_steps,
+        )
+        for heuristic in HEURISTICS
+        for i, cnf in enumerate(problems)
+    ]
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+    n = len(problems)
     rows = []
-    for heuristic in HEURISTICS:
-        branches, cts = [], []
-        for i, cnf in enumerate(problems):
+    for j, heuristic in enumerate(HEURISTICS):
+        branches = []
+        for cnf in problems:
             seq = dpll_solve(cnf, heuristic=heuristic)
             assert seq.satisfiable
             branches.append(seq.stats.branches)
-            res = solve_on_machine(
-                cnf,
-                Torus(DIMS),
-                heuristic=heuristic,
-                simplify="single",
-                seed=preset.seed + i,
-                max_steps=preset.max_steps,
-            )
-            assert res.verified
-            cts.append(res.report.computation_time)
-        n = len(problems)
+        outs = outcomes[j * n : (j + 1) * n]
+        assert all(o.verified for o in outs)
         rows.append(
             {
                 "heuristic": heuristic,
                 "seq_branches": sum(branches) / n,
-                "dist_ct": sum(cts) / n,
+                "dist_ct": sum(o.computation_time for o in outs) / n,
             }
         )
     return rows

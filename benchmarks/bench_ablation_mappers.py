@@ -17,8 +17,8 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.fib import fib
-from repro.apps.sat import SatProblem, make_solve_sat
 from repro.bench import format_table, sat_suite
+from repro.parallel import SatTask, solve_sat_tasks
 from repro.stack import HyperspaceStack
 from repro.topology import Torus
 
@@ -42,22 +42,27 @@ def run_fib_sweep(n=15):
     return rows
 
 
-def run_sat_sweep(preset):
+def run_sat_sweep(preset, jobs=None):
     problems = sat_suite(preset)
+    tasks = [
+        SatTask(
+            cnf,
+            Torus(DIMS),
+            mapper=mapper,
+            status=status,
+            simplify="none",
+            seed=preset.seed + i,
+            max_steps=preset.max_steps,
+        )
+        for _, mapper, status in CONFIGS
+        for i, cnf in enumerate(problems)
+    ]
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+    n = len(problems)
     rows = []
-    for label, mapper, status in CONFIGS:
-        cts = []
-        for i, cnf in enumerate(problems):
-            stack = HyperspaceStack(
-                Torus(DIMS), mapper=mapper, status=status, seed=preset.seed + i
-            )
-            fn = make_solve_sat(simplify="none")
-            _, report = stack.run_recursive(
-                fn, SatProblem(cnf), halt_on_result=False,
-                max_steps=preset.max_steps,
-            )
-            cts.append(report.computation_time)
-        rows.append({"config": label, "ct": sum(cts) / len(cts)})
+    for j, (label, _, _) in enumerate(CONFIGS):
+        outs = outcomes[j * n : (j + 1) * n]
+        rows.append({"config": label, "ct": sum(o.computation_time for o in outs) / n})
     return rows
 
 

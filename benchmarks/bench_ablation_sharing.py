@@ -12,41 +12,41 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.sat import SatProblem, make_solve_sat
 from repro.bench import format_table, sat_suite
-from repro.stack import HyperspaceStack
+from repro.parallel import SatTask, solve_sat_tasks
 from repro.topology import Torus
 
 THRESHOLDS = (None, 2, 4, 8, 16)
 DIMS = (14, 14)
 
 
-def run_sharing_sweep(preset):
+def run_sharing_sweep(preset, jobs=None):
     problems = sat_suite(preset)
+    tasks = [
+        SatTask(
+            cnf,
+            Torus(DIMS),
+            mapper="rr",
+            simplify="none",
+            seed=preset.seed + i,
+            max_steps=preset.max_steps,
+            share_threshold=threshold,
+        )
+        for threshold in THRESHOLDS
+        for i, cnf in enumerate(problems)
+    ]
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+    n = len(problems)
     rows = []
-    for threshold in THRESHOLDS:
-        cts, sents = [], []
-        for i, cnf in enumerate(problems):
-            stack = HyperspaceStack(
-                Torus(DIMS),
-                mapper="rr",
-                share_threshold=threshold,
-                seed=preset.seed + i,
-            )
-            raw, report = stack.run_recursive(
-                make_solve_sat(simplify="none"),
-                SatProblem(cnf),
-                halt_on_result=False,
-                max_steps=preset.max_steps,
-            )
-            assert raw is not None  # all suite problems are satisfiable
-            cts.append(report.computation_time)
-            sents.append(report.sent_total)
+    for j, threshold in enumerate(THRESHOLDS):
+        outs = outcomes[j * n : (j + 1) * n]
+        # all suite problems are satisfiable
+        assert all(o.satisfiable for o in outs)
         rows.append(
             {
                 "threshold": "off" if threshold is None else threshold,
-                "ct": sum(cts) / len(cts),
-                "sent": sum(sents) / len(sents),
+                "ct": sum(o.computation_time for o in outs) / n,
+                "sent": sum(o.sent_total for o in outs) / n,
             }
         )
     return rows

@@ -11,46 +11,41 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.sat import SatProblem, make_solve_sat, sat_content_size
 from repro.bench import format_table, sat_suite
-from repro.netsim import make_envelope_sizer
-from repro.stack import HyperspaceStack
+from repro.parallel import SatTask, solve_sat_tasks
 from repro.topology import Torus
 
 MODES = ("none", "single", "fixpoint")
 DIMS = (14, 14)
 
 
-def run_simplify_sweep(preset):
+def run_simplify_sweep(preset, jobs=None):
     problems = sat_suite(preset)
+    tasks = [
+        SatTask(
+            cnf,
+            Torus(DIMS),
+            simplify=mode,
+            seed=preset.seed + i,
+            max_steps=preset.max_steps,
+            sat_sizing=True,
+        )
+        for mode in MODES
+        for i, cnf in enumerate(problems)
+    ]
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+    n = len(problems)
     rows = []
-    for mode in MODES:
-        cts, sents, invs, traffic = [], [], [], []
-        for i, cnf in enumerate(problems):
-            stack = HyperspaceStack(
-                Torus(DIMS),
-                seed=preset.seed + i,
-                size_fn=make_envelope_sizer(sat_content_size),
-            )
-            raw, report = stack.run_recursive(
-                make_solve_sat(simplify=mode),
-                SatProblem(cnf),
-                halt_on_result=False,
-                max_steps=preset.max_steps,
-            )
-            assert raw is not None and cnf.is_satisfied_by(dict(raw))
-            cts.append(report.computation_time)
-            sents.append(report.sent_total)
-            traffic.append(report.traffic_total)
-            invs.append(stack.last_run.engine_stats.invocations)
-        n = len(problems)
+    for j, mode in enumerate(MODES):
+        outs = outcomes[j * n : (j + 1) * n]
+        assert all(o.satisfiable and o.verified for o in outs)
         rows.append(
             {
                 "mode": mode,
-                "ct": sum(cts) / n,
-                "sent": sum(sents) / n,
-                "traffic": sum(traffic) / n,
-                "invocations": sum(invs) / n,
+                "ct": sum(o.computation_time for o in outs) / n,
+                "sent": sum(o.sent_total for o in outs) / n,
+                "traffic": sum(o.traffic_total for o in outs) / n,
+                "invocations": sum(o.invocations for o in outs) / n,
             }
         )
     return rows

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.sat import solve_on_machine
 from repro.bench import format_table, sat_suite
+from repro.parallel import SatTask, solve_sat_tasks
 from repro.topology import Torus
 
 THRESHOLDS = (None, 32, 16, 8, 4)
@@ -25,33 +25,38 @@ SMALL_DIMS = (4, 4)
 LARGE_DIMS = (22, 22)
 
 
-def run_status_sweep(preset):
+def run_status_sweep(preset, jobs=None):
     problems = sat_suite(preset)
-    table = {}
-    for dims in (SMALL_DIMS, LARGE_DIMS):
-        rows = []
-        for threshold in THRESHOLDS:
-            cts, sents = [], []
-            for i, cnf in enumerate(problems):
-                res = solve_on_machine(
-                    cnf,
-                    Torus(dims),
-                    mapper="lbn",
-                    status=threshold,
-                    simplify="none",
-                    seed=preset.seed + i,
-                    max_steps=preset.max_steps,
-                )
-                cts.append(res.report.computation_time)
-                sents.append(res.report.sent_total)
-            rows.append(
-                {
-                    "threshold": "off" if threshold is None else threshold,
-                    "mean_ct": sum(cts) / len(cts),
-                    "mean_sent": sum(sents) / len(sents),
-                }
-            )
-        table[dims] = rows
+    grid = [
+        (dims, threshold)
+        for dims in (SMALL_DIMS, LARGE_DIMS)
+        for threshold in THRESHOLDS
+    ]
+    tasks = [
+        SatTask(
+            cnf,
+            Torus(dims),
+            mapper="lbn",
+            status=threshold,
+            simplify="none",
+            seed=preset.seed + i,
+            max_steps=preset.max_steps,
+        )
+        for dims, threshold in grid
+        for i, cnf in enumerate(problems)
+    ]
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+    n = len(problems)
+    table = {dims: [] for dims in (SMALL_DIMS, LARGE_DIMS)}
+    for j, (dims, threshold) in enumerate(grid):
+        outs = outcomes[j * n : (j + 1) * n]
+        table[dims].append(
+            {
+                "threshold": "off" if threshold is None else threshold,
+                "mean_ct": sum(o.computation_time for o in outs) / n,
+                "mean_sent": sum(o.sent_total for o in outs) / n,
+            }
+        )
     return table
 
 

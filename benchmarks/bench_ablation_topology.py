@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.sat import solve_on_machine
 from repro.bench import format_table, sat_suite
+from repro.parallel import SatTask, solve_sat_tasks
 from repro.topology import CubeConnectedCycles, FullyConnected, Grid, Hypercube, Ring, Torus
 
 MACHINES = [
@@ -29,27 +29,30 @@ MACHINES = [
 ]
 
 
-def run_topology_sweep(preset):
+def run_topology_sweep(preset, jobs=None):
     problems = sat_suite(preset)
+    tasks = [
+        SatTask(
+            cnf,
+            topo,
+            mapper="random" if topo.kind == "full" else "lbn",
+            simplify="none",
+            seed=preset.seed + i,
+            max_steps=preset.max_steps,
+        )
+        for _, topo in MACHINES
+        for i, cnf in enumerate(problems)
+    ]
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+    n = len(problems)
     rows = []
-    for label, topo in MACHINES:
-        mapper = "random" if topo.kind == "full" else "lbn"
-        cts = []
-        for i, cnf in enumerate(problems):
-            res = solve_on_machine(
-                cnf,
-                topo,
-                mapper=mapper,
-                simplify="none",
-                seed=preset.seed + i,
-                max_steps=preset.max_steps,
-            )
-            cts.append(res.report.computation_time)
+    for j, (label, topo) in enumerate(MACHINES):
+        outs = outcomes[j * n : (j + 1) * n]
         rows.append(
             {
                 "machine": label,
                 "diameter": topo.diameter(),
-                "ct": sum(cts) / len(cts),
+                "ct": sum(o.computation_time for o in outs) / n,
             }
         )
     return rows

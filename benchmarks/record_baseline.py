@@ -1,0 +1,196 @@
+"""Record the repository performance baseline (``BENCH_baseline.json``).
+
+Measures the two numbers the optimization work tracks:
+
+1. **Simulator hot-path throughput** — deliveries per second of the layer-1
+   event loop under three synthetic loads (dense storm, traversal flood,
+   sparse ping-pong), median of several repeats;
+2. **Sweep wall time** — ``run_figure4(QUICK)`` end to end, serial and
+   through the process-pool executor, asserting both produce identical
+   points.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/record_baseline.py [--out BENCH_baseline.json]
+        [--jobs 4] [--repeats 7] [--compare PATH_TO_REFERENCE_CHECKOUT]
+
+``--compare`` re-runs the microbenchmarks against another checkout (e.g. a
+worktree of the pre-optimization commit) in a subprocess and records both
+sides plus the relative improvement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+from repro.netsim import EMPTY_MSG, Machine
+from repro.topology import Torus
+
+#: bump when the workloads or the JSON layout change
+SCHEMA = "repro-bench-baseline/1"
+
+
+# -- microbenchmark workloads ---------------------------------------------
+
+
+class _Storm:
+    """Every node forwards every step: pure event-loop throughput."""
+
+    def init(self, ctx):
+        ctx.state = 0
+
+    def on_message(self, ctx, sender, payload):
+        ctx.state += 1
+        ctx.send(ctx.neighbours[ctx.state & 3], payload)
+
+
+def storm_rate(steps: int = 400) -> float:
+    """Deliveries/s with all 400 nodes of a 20x20 torus busy every step."""
+    m = Machine(Torus((20, 20)), _Storm())
+    for n in range(400):
+        m.inject(n, EMPTY_MSG)
+    m.step()  # warm-up: one step to populate every queue
+    t0 = time.perf_counter()
+    delivered = 0
+    for _ in range(steps):
+        delivered += m.step()
+    return delivered / (time.perf_counter() - t0)
+
+
+class _PingPong:
+    """One message bouncing along a fixed edge: per-step overhead floor."""
+
+    def init(self, ctx):
+        ctx.state = None
+
+    def on_message(self, ctx, sender, payload):
+        ctx.send(ctx.neighbours[0], payload)
+
+
+def sparse_rate(steps: int = 60_000) -> float:
+    """Steps/s with a single active node on a 256-core torus."""
+    m = Machine(Torus((16, 16)), _PingPong())
+    m.inject(0, EMPTY_MSG)
+    m.step()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        m.step()
+    return steps / (time.perf_counter() - t0)
+
+
+def flood_rate(reps: int = 40) -> float:
+    """Deliveries/s of repeated full BFS traversals of a 400-node torus."""
+    from repro.apps.traversal import run_traversal
+
+    topo = Torus((20, 20))
+    run_traversal(topo)  # warm-up
+    t0 = time.perf_counter()
+    total = 0
+    for _ in range(reps):
+        _, rep = run_traversal(topo)
+        total += rep.delivered_total
+    return total / (time.perf_counter() - t0)
+
+
+def measure_micro(repeats: int) -> dict:
+    """Median-of-``repeats`` rates for the three workloads."""
+
+    def med(fn):
+        vals = sorted(fn() for _ in range(repeats))
+        return round(vals[len(vals) // 2])
+
+    return {
+        "unit": "deliveries per second (sparse: steps per second)",
+        "repeats": repeats,
+        "storm_torus400": med(storm_rate),
+        "flood_torus400": med(flood_rate),
+        "sparse_torus256": med(sparse_rate),
+    }
+
+
+# -- figure-4 sweep wall time ---------------------------------------------
+
+
+def measure_figure4(jobs: int) -> dict:
+    """Time ``run_figure4(QUICK)`` serial vs pooled; assert identical data."""
+    from repro.bench import QUICK, figure4_to_dict, run_figure4
+
+    run_figure4(QUICK)  # warm the memoised problem suite
+    t0 = time.perf_counter()
+    serial = run_figure4(QUICK, jobs=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pooled = run_figure4(QUICK, jobs=jobs)
+    pooled_s = time.perf_counter() - t0
+    identical = figure4_to_dict(serial) == figure4_to_dict(pooled)
+    if not identical:
+        raise AssertionError("parallel figure-4 sweep diverged from serial")
+    return {
+        "preset": "quick",
+        "serial_seconds": round(serial_s, 2),
+        "parallel_seconds": round(pooled_s, 2),
+        "parallel_jobs": jobs,
+        "speedup": round(serial_s / pooled_s, 2),
+        "identical_results": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_baseline.json")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel figure-4 run")
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="microbenchmark repeats (median is recorded)")
+    parser.add_argument("--compare", metavar="PATH", default=None,
+                        help="also run the microbenchmarks against another "
+                             "checkout and record the improvement")
+    parser.add_argument("--micro-json", action="store_true",
+                        help=argparse.SUPPRESS)  # subprocess mode for --compare
+    args = parser.parse_args(argv)
+
+    if args.micro_json:
+        print(json.dumps(measure_micro(args.repeats)))
+        return 0
+
+    payload = {
+        "schema": SCHEMA,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "microbenchmark": measure_micro(args.repeats),
+    }
+    if args.compare:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(args.compare, "src")
+        out = subprocess.run(
+            [sys.executable, os.path.abspath(__file__),
+             "--micro-json", "--repeats", str(args.repeats)],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        reference = json.loads(out.stdout.splitlines()[-1])
+        payload["microbenchmark_reference"] = {"checkout": args.compare, **reference}
+        payload["microbenchmark_improvement_pct"] = {
+            k: round(100.0 * (payload["microbenchmark"][k] / reference[k] - 1.0), 1)
+            for k in ("storm_torus400", "flood_torus400", "sparse_torus256")
+        }
+    payload["figure4_quick"] = measure_figure4(args.jobs)
+
+    from repro.bench import write_json
+
+    path = write_json(args.out, payload)
+    print(f"baseline written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

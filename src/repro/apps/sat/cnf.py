@@ -74,6 +74,18 @@ class CNF:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("CNF is immutable")
 
+    # The frozen __setattr__ breaks pickle's default slot restoration, so
+    # spell the protocol out; formulas must cross process boundaries when
+    # sweeps fan out over a worker pool (repro.parallel).
+    def __getstate__(self) -> Tuple[Tuple[Clause, ...], int]:
+        return (self.clauses, self.num_vars)
+
+    def __setstate__(self, state: Tuple[Tuple[Clause, ...], int]) -> None:
+        clauses, num_vars = state
+        object.__setattr__(self, "clauses", clauses)
+        object.__setattr__(self, "num_vars", num_vars)
+        object.__setattr__(self, "_lit_cache", None)
+
     @classmethod
     def _from_trusted(
         cls, clauses: Tuple[Clause, ...], num_vars: int

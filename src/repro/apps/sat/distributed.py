@@ -218,6 +218,8 @@ def solve_on_machine(
     max_steps: int = 1_000_000,
     record_queue_depths: bool = False,
     drain: bool = True,
+    share_threshold: Optional[int] = None,
+    size_fn=None,
 ) -> DistributedSatResult:
     """Solve one formula on a simulated machine; the one-call entry point.
 
@@ -232,6 +234,11 @@ def solve_on_machine(
     ``drain=False`` halts as soon as the root verdict is known (the
     latency a real user would observe); combined with ``cancellation=True``
     it also stops speculative subtrees early.
+
+    ``share_threshold`` and ``size_fn`` pass straight through to the
+    :class:`~repro.stack.HyperspaceStack` (layer-3 work sharing and the
+    bandwidth-accounting message sizer) so sweep tasks can cover the
+    ablation benches' configurations too.
     """
     stack = HyperspaceStack(
         topology,
@@ -240,6 +247,8 @@ def solve_on_machine(
         cancellation=cancellation,
         seed=seed,
         record_queue_depths=record_queue_depths,
+        share_threshold=share_threshold,
+        size_fn=size_fn,
     )
     fn = make_solve_sat(
         heuristic, rng=random.Random(seed), hint_mode=hint_mode, simplify=simplify

@@ -32,6 +32,7 @@ __all__ = [
     "satisfiable_random_ksat",
     "planted_random_ksat",
     "uf20_91_suite",
+    "clear_suite_cache",
     "UF20_VARS",
     "UF20_CLAUSES",
 ]
@@ -118,6 +119,10 @@ def planted_random_ksat(
     return CNF(clauses, num_vars=num_vars)
 
 
+#: memoised suites keyed by (n_problems, seed, planted) — see uf20_91_suite
+_SUITE_CACHE: "dict[tuple[int, int, bool], tuple[CNF, ...]]" = {}
+
+
 def uf20_91_suite(
     n_problems: int = 20, seed: int = 2017, planted: bool = False
 ) -> List[CNF]:
@@ -125,10 +130,26 @@ def uf20_91_suite(
 
     Deterministic in ``seed``; every instance is satisfiable (filtered by
     the sequential DPLL solver, or planted when ``planted=True``).
+
+    Suites are memoised per ``(n_problems, seed, planted)``: generation
+    rejection-samples through the sequential solver, which dominates
+    start-up cost when every bench invocation (and every parallel sweep)
+    asks for the same seeded suite.  Formulas are immutable, so the cached
+    instances are shared; the returned list is a fresh copy each call.
     """
-    seeds = SeedSequence(seed)
-    gen = planted_random_ksat if planted else satisfiable_random_ksat
-    return [
-        gen(UF20_VARS, UF20_CLAUSES, 3, rng)
-        for rng in seeds.indexed("uf20-91", n_problems)
-    ]
+    key = (n_problems, seed, planted)
+    cached = _SUITE_CACHE.get(key)
+    if cached is None:
+        seeds = SeedSequence(seed)
+        gen = planted_random_ksat if planted else satisfiable_random_ksat
+        cached = tuple(
+            gen(UF20_VARS, UF20_CLAUSES, 3, rng)
+            for rng in seeds.indexed("uf20-91", n_problems)
+        )
+        _SUITE_CACHE[key] = cached
+    return list(cached)
+
+
+def clear_suite_cache() -> None:
+    """Drop all memoised :func:`uf20_91_suite` results (tests only)."""
+    _SUITE_CACHE.clear()

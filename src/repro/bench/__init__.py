@@ -13,11 +13,25 @@ from .figure4 import (
     Figure4Point,
     Figure4Result,
     assert_figure4_shape,
+    figure4_to_dict,
     render_figure4,
     run_figure4,
 )
-from .figure5 import Figure5Result, assert_figure5_shape, render_figure5, run_figure5
-from .report import format_series_block, format_table, heatmap_ascii, sparkline
+from .figure5 import (
+    Figure5Result,
+    assert_figure5_shape,
+    figure5_to_dict,
+    render_figure5,
+    run_figure5,
+)
+from .report import (
+    format_json,
+    format_series_block,
+    format_table,
+    heatmap_ascii,
+    sparkline,
+    write_json,
+)
 from .suites import (
     FIGURE5_TORUS_DIMS,
     FULL,
@@ -45,8 +59,12 @@ __all__ = [
     "mesh_for",
     "figure4_series",
     "FIGURE5_TORUS_DIMS",
+    "figure4_to_dict",
+    "figure5_to_dict",
     "format_table",
     "format_series_block",
+    "format_json",
+    "write_json",
     "sparkline",
     "heatmap_ascii",
 ]

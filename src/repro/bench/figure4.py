@@ -19,13 +19,19 @@ reports (and our benchmark asserts):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..apps.sat import solve_on_machine
+from ..parallel import SatTask, solve_sat_tasks
 from .report import format_table
 from .suites import BenchPreset, QUICK, figure4_series, mesh_for, sat_suite
 
-__all__ = ["Figure4Point", "Figure4Result", "run_figure4", "render_figure4"]
+__all__ = [
+    "Figure4Point",
+    "Figure4Result",
+    "run_figure4",
+    "render_figure4",
+    "figure4_to_dict",
+]
 
 
 class Figure4Point:
@@ -83,6 +89,7 @@ def run_figure4(
     simplify: str = "none",
     heuristic: str = "max_occurrence",
     verbose: bool = False,
+    jobs: Optional[int] = None,
 ) -> Figure4Result:
     """Sweep the Figure-4 grid and return all data points.
 
@@ -92,9 +99,19 @@ def run_figure4(
 
     ``simplify="none"`` is the calibrated default: it reproduces the
     workload *scale* of the paper's published traces (see EXPERIMENTS.md).
+
+    ``jobs`` fans the independent ``(series, machine size, problem)`` cells
+    out over a process pool (see :mod:`repro.parallel`); every cell is a
+    separately seeded simulation, so the result is bit-identical to a
+    serial run regardless of worker count.
     """
     problems = sat_suite(preset)
-    points: List[Figure4Point] = []
+    # flatten the sweep: one cell per (series, machine size), one task per
+    # (cell, problem); the pool returns outcomes in task order, so the
+    # aggregation below is independent of scheduling
+    cells: List[Tuple[str, str, str, int, object]] = []
+    tasks: List[SatTask] = []
+    task_cells: List[Tuple[int, int]] = []  # (cell index, problem index)
     for label, kind, mapper in figure4_series():
         status = status_threshold if mapper == "lbn" else None
         seen_sizes: set[int] = set()
@@ -104,40 +121,54 @@ def run_figure4(
                 # two requested sizes snapped to the same square/cube mesh
                 continue
             seen_sizes.add(topo.n_nodes)
-            cts, sents = [], []
+            cell = len(cells)
+            cells.append((label, kind, mapper, n_cores, topo))
             for i, cnf in enumerate(problems):
-                res = solve_on_machine(
-                    cnf,
-                    topo,
-                    mapper=mapper,
-                    status=status,
-                    heuristic=heuristic,
-                    simplify=simplify,
-                    seed=preset.seed + i,
-                    max_steps=preset.max_steps,
-                )
-                if not res.verified:
-                    raise AssertionError(
-                        f"unverified SAT model for problem {i} on {topo.describe()}"
+                tasks.append(
+                    SatTask(
+                        cnf,
+                        topo,
+                        mapper=mapper,
+                        status=status,
+                        heuristic=heuristic,
+                        simplify=simplify,
+                        seed=preset.seed + i,
+                        max_steps=preset.max_steps,
                     )
-                cts.append(res.report.computation_time)
-                sents.append(res.report.sent_total)
-            point = Figure4Point(
-                label,
-                kind,
-                mapper,
-                n_cores,
-                topo.n_nodes,
-                sum(cts) / len(cts),
-                sum(sents) / len(sents),
-            )
-            points.append(point)
-            if verbose:
-                print(
-                    f"  {label:18s} n={topo.n_nodes:5d} "
-                    f"ct={point.mean_ct:8.1f} perf={point.performance:.5f}",
-                    flush=True,
                 )
+                task_cells.append((cell, i))
+
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+
+    cts: List[List[int]] = [[] for _ in cells]
+    sents: List[List[int]] = [[] for _ in cells]
+    for (cell, i), out in zip(task_cells, outcomes):
+        if not out.verified:
+            topo = cells[cell][4]
+            raise AssertionError(
+                f"unverified SAT model for problem {i} on {topo.describe()}"
+            )
+        cts[cell].append(out.computation_time)
+        sents[cell].append(out.sent_total)
+
+    points: List[Figure4Point] = []
+    for cell, (label, kind, mapper, n_cores, topo) in enumerate(cells):
+        point = Figure4Point(
+            label,
+            kind,
+            mapper,
+            n_cores,
+            topo.n_nodes,
+            sum(cts[cell]) / len(cts[cell]),
+            sum(sents[cell]) / len(sents[cell]),
+        )
+        points.append(point)
+        if verbose:
+            print(
+                f"  {label:18s} n={topo.n_nodes:5d} "
+                f"ct={point.mean_ct:8.1f} perf={point.performance:.5f}",
+                flush=True,
+            )
     return Figure4Result(preset, points)
 
 
@@ -174,6 +205,36 @@ def assert_figure4_shape(result: Figure4Result) -> None:
     assert result.performance_at_scale("3D Torus + LBN") >= 0.7 * full, (
         "3D adaptive did not approach the fully connected baseline"
     )
+
+
+def figure4_to_dict(result: Figure4Result) -> Dict[str, object]:
+    """Figure-4 data as a JSON-ready dict (see ``repro.bench.report``).
+
+    One entry per series, points ordered by machine size — the exact rows
+    :func:`render_figure4` tabulates, machine-readable for baselines.
+    """
+    return {
+        "figure": "figure4",
+        "preset": {
+            "name": result.preset.name,
+            "n_problems": result.preset.n_problems,
+            "core_counts": list(result.preset.core_counts),
+            "seed": result.preset.seed,
+        },
+        "series": {
+            label: [
+                {
+                    "requested_cores": p.requested_cores,
+                    "actual_cores": p.actual_cores,
+                    "mean_computation_time": p.mean_ct,
+                    "performance": p.performance,
+                    "mean_sent": p.mean_sent,
+                }
+                for p in result.series(label)
+            ]
+            for label in result.labels()
+        },
+    }
 
 
 def render_figure4(result: Figure4Result) -> str:

@@ -20,12 +20,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..apps.sat import solve_on_machine
+from ..parallel import SatTask, solve_sat_tasks
 from ..topology import Torus
 from .report import format_series_block, format_table, heatmap_ascii
 from .suites import FIGURE5_TORUS_DIMS, BenchPreset, QUICK, sat_suite
 
-__all__ = ["Figure5Result", "run_figure5", "render_figure5"]
+__all__ = ["Figure5Result", "run_figure5", "render_figure5", "figure5_to_dict"]
 
 #: the two mappers Figure 5 contrasts
 FIGURE5_MAPPERS = ("rr", "lbn")
@@ -70,30 +70,46 @@ def run_figure5(
     status_threshold: Optional[int] = 16,
     simplify: str = "none",
     heuristic: str = "max_occurrence",
+    jobs: Optional[int] = None,
 ) -> Figure5Result:
-    """Profile the benchmark suite on the 196-core 2D torus of Figure 5."""
+    """Profile the benchmark suite on the 196-core 2D torus of Figure 5.
+
+    ``jobs`` fans the per-``(mapper, problem)`` runs out over a process
+    pool (see :mod:`repro.parallel`); results are bit-identical to a
+    serial sweep.
+    """
     problems = sat_suite(preset)
-    topo_dims = FIGURE5_TORUS_DIMS
-    traces: Dict[str, List[np.ndarray]] = {m: [] for m in FIGURE5_MAPPERS}
-    heatmaps: Dict[str, np.ndarray] = {}
-    cts: Dict[str, List[int]] = {m: [] for m in FIGURE5_MAPPERS}
+    topo = Torus(FIGURE5_TORUS_DIMS)
+    tasks: List[SatTask] = []
+    task_keys: List[tuple] = []  # (mapper, problem index)
     for mapper in FIGURE5_MAPPERS:
         status = status_threshold if mapper == "lbn" else None
         for i, cnf in enumerate(problems):
-            res = solve_on_machine(
-                cnf,
-                Torus(topo_dims),
-                mapper=mapper,
-                status=status,
-                heuristic=heuristic,
-                simplify=simplify,
-                seed=preset.seed + i,
-                max_steps=preset.max_steps,
+            tasks.append(
+                SatTask(
+                    cnf,
+                    topo,
+                    mapper=mapper,
+                    status=status,
+                    heuristic=heuristic,
+                    simplify=simplify,
+                    seed=preset.seed + i,
+                    max_steps=preset.max_steps,
+                    collect_activity=True,
+                    collect_heatmap=i == 0,
+                )
             )
-            traces[mapper].append(res.report.interconnect_activity)
-            cts[mapper].append(res.report.computation_time)
-            if i == 0:
-                heatmaps[mapper] = res.report.heatmap()
+            task_keys.append((mapper, i))
+    outcomes = solve_sat_tasks(tasks, jobs=jobs)
+
+    traces: Dict[str, List[np.ndarray]] = {m: [] for m in FIGURE5_MAPPERS}
+    heatmaps: Dict[str, np.ndarray] = {}
+    cts: Dict[str, List[int]] = {m: [] for m in FIGURE5_MAPPERS}
+    for (mapper, i), out in zip(task_keys, outcomes):
+        traces[mapper].append(out.activity)
+        cts[mapper].append(out.computation_time)
+        if i == 0:
+            heatmaps[mapper] = out.heatmap
     return Figure5Result(preset, traces, heatmaps, cts)
 
 
@@ -114,6 +130,33 @@ def assert_figure5_shape(result: Figure5Result) -> None:
     assert result.mean_computation_time("lbn") < result.mean_computation_time(
         "rr"
     ), "LBN was not faster than RR on the 196-core torus"
+
+
+def figure5_to_dict(result: Figure5Result) -> Dict[str, object]:
+    """Figure-5 data as a JSON-ready dict (see ``repro.bench.report``).
+
+    Carries the per-problem activity traces, the problem-0 heatmaps and the
+    summary row :func:`render_figure5` tabulates.
+    """
+    return {
+        "figure": "figure5",
+        "preset": {
+            "name": result.preset.name,
+            "n_problems": result.preset.n_problems,
+            "seed": result.preset.seed,
+        },
+        "mappers": {
+            mapper: {
+                "mean_computation_time": result.mean_computation_time(mapper),
+                "peak_queued": result.peak_queued(mapper),
+                "active_nodes": result.active_nodes(mapper),
+                "computation_times": list(result.computation_times[mapper]),
+                "traces": [t.tolist() for t in result.traces[mapper]],
+                "heatmap": result.heatmaps[mapper].tolist(),
+            }
+            for mapper in FIGURE5_MAPPERS
+        },
+    }
 
 
 def render_figure5(result: Figure5Result) -> str:

@@ -1,19 +1,30 @@
-"""ASCII rendering utilities for benchmark reports.
+"""ASCII and JSON rendering utilities for benchmark reports.
 
 The harness prints the same rows/series the paper's figures plot: tables of
 performance versus core count (Figure 4), activity time series and mesh
 heatmaps (Figure 5).  Everything renders to plain text so results live in
-logs and CI output.
+logs and CI output; :func:`format_json` / :func:`write_json` emit the same
+data machine-readably for baselines and regression tracking.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from typing import Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["format_table", "sparkline", "heatmap_ascii", "format_series_block"]
+__all__ = [
+    "format_table",
+    "sparkline",
+    "heatmap_ascii",
+    "format_series_block",
+    "json_default",
+    "format_json",
+    "write_json",
+]
 
 _SPARK_CHARS = " .:-=+*#%@"
 
@@ -94,6 +105,43 @@ def heatmap_ascii(grid: "np.ndarray", width: int = 2) -> str:
             ]
         lines.append(" ".join(c.rjust(width - 1) for c in cells))
     return "\n".join(lines)
+
+
+def json_default(obj: Any) -> Any:
+    """``json.dumps`` fallback for the numpy types benchmark data carries."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serialisable: {type(obj).__name__}")
+
+
+def format_json(payload: Any, indent: int = 2) -> str:
+    """Serialise a benchmark payload (possibly numpy-laden) to JSON text.
+
+    Non-finite floats (the ``inf`` performance of a zero computation time)
+    are emitted as strings so the output stays standard JSON.
+    """
+
+    def sanitise(obj: Any) -> Any:
+        if isinstance(obj, dict):
+            return {str(k): sanitise(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [sanitise(v) for v in obj]
+        if isinstance(obj, (float, np.floating)) and not math.isfinite(obj):
+            return str(obj)
+        return obj
+
+    return json.dumps(sanitise(payload), indent=indent, default=json_default)
+
+
+def write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> Path:
+    """Write a benchmark payload as JSON; returns the resolved path."""
+    out = Path(path)
+    out.write_text(format_json(payload, indent=indent) + "\n")
+    return out
 
 
 def format_series_block(

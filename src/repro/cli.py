@@ -60,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
     fig5 = sub.add_parser("figure5", help="regenerate paper Figure 5")
     fig5.add_argument("--preset", default="quick", choices=["quick", "full"])
 
+    for fig in (fig4, fig5):
+        fig.add_argument(
+            "--jobs", "-j", type=int, default=None, metavar="N",
+            help="worker processes for the sweep (0 = all cores; default: "
+                 "REPRO_JOBS env var, else serial); results are identical "
+                 "for any job count",
+        )
+        fig.add_argument(
+            "--json", metavar="PATH", default=None,
+            help="also write the figure data as JSON to PATH",
+        )
+
     return parser
 
 
@@ -146,22 +158,44 @@ def _cmd_topo(args) -> int:
 
 
 def _cmd_figure4(args) -> int:
-    from .bench import FULL, QUICK, assert_figure4_shape, render_figure4, run_figure4
+    from .bench import (
+        FULL,
+        QUICK,
+        assert_figure4_shape,
+        figure4_to_dict,
+        render_figure4,
+        run_figure4,
+        write_json,
+    )
 
     preset = FULL if args.preset == "full" else QUICK
-    result = run_figure4(preset, status_threshold=args.status, verbose=True)
+    result = run_figure4(
+        preset, status_threshold=args.status, verbose=True, jobs=args.jobs
+    )
     print(render_figure4(result))
+    if args.json:
+        print(f"\nJSON written to {write_json(args.json, figure4_to_dict(result))}")
     assert_figure4_shape(result)
     print("\nall Figure-4 qualitative claims hold")
     return 0
 
 
 def _cmd_figure5(args) -> int:
-    from .bench import FULL, QUICK, assert_figure5_shape, render_figure5, run_figure5
+    from .bench import (
+        FULL,
+        QUICK,
+        assert_figure5_shape,
+        figure5_to_dict,
+        render_figure5,
+        run_figure5,
+        write_json,
+    )
 
     preset = FULL if args.preset == "full" else QUICK
-    result = run_figure5(preset)
+    result = run_figure5(preset, jobs=args.jobs)
     print(render_figure5(result))
+    if args.json:
+        print(f"\nJSON written to {write_json(args.json, figure5_to_dict(result))}")
     assert_figure5_shape(result)
     print("\nall Figure-5 qualitative claims hold")
     return 0

@@ -24,6 +24,7 @@ Semantics implemented here (and verified by tests):
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import AdjacencyError, SimulationError
@@ -100,11 +101,32 @@ class Machine:
             make_inbox(queue_policy, self._rng, queue_capacity, queue_overflow)
             for _ in range(topology.n_nodes)
         ]
-        self._nonempty: set[NodeId] = set()
+        #: ids of nodes with non-empty inboxes; kept sorted lazily — new
+        #: ids are appended and the dirty flag triggers one sort at the
+        #: start of the next step (instead of sorting a set every step)
+        self._active: List[NodeId] = []
+        self._active_dirty = False
+        #: per-node inbox depth mirror; every push/pop goes through the
+        #: machine, so tracking depths here avoids a Python-level __len__
+        #: call per message on the hot path
+        self._depths: List[int] = [0] * topology.n_nodes
+        # The paper's default discipline (unbounded FIFO) needs none of the
+        # Inbox wrapper's policy/overflow logic, so the hot path binds the
+        # underlying deque methods directly (C level); any other policy or
+        # a finite capacity goes through Inbox.push/Inbox.pop.
+        self._unbounded_fifo = queue_policy == "fifo" and queue_capacity is None
+        if self._unbounded_fifo:
+            self._push_fns = [inbox._q.append for inbox in self._inboxes]
+            self._pop_fns = [inbox._q.popleft for inbox in self._inboxes]
+        else:
+            self._push_fns = None
+            self._pop_fns = [inbox.pop for inbox in self._inboxes]
         self._faults = faults
         self._size_fn = size_fn
         self._enforce_adjacency = enforce_adjacency
         self._full = topology.kind == "full"
+        #: adjacency must be checked per send (non-full topology, not opted out)
+        self._check_neighbours = enforce_adjacency and not self._full
         if isinstance(latency, int):
             if latency < 0:
                 raise SimulationError(f"latency must be >= 0, got {latency}")
@@ -113,6 +135,8 @@ class Machine:
             )
         else:
             self._latency_fn = latency
+        #: reliable zero-latency sends skip the fault/latency machinery
+        self._fast_send = faults.is_reliable and self._latency_fn is None
         #: messages maturing at a future step: step -> [(dst, envelope)]
         self._in_flight: Dict[int, List[Tuple[NodeId, Envelope]]] = {}
         self._in_flight_count = 0
@@ -139,24 +163,52 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _make_send(self, src: NodeId) -> Callable[[NodeId, Any], None]:
-        def send(dst: NodeId, payload: Any) -> None:
-            self._send_from(src, dst, payload)
-
-        return send
+        # functools.partial dispatches at C level — cheaper per send than a
+        # Python closure frame
+        return partial(self._send_from, src)
 
     def _send_from(self, src: NodeId, dst: NodeId, payload: Any) -> None:
         if not (0 <= dst < self.topology.n_nodes):
             raise SimulationError(f"send to invalid node {dst} from node {src}")
-        if self._enforce_adjacency and src != EXTERNAL and not self._full:
-            if dst not in self._neighbour_sets[src]:
-                raise AdjacencyError(
-                    f"node {src} attempted to send to non-neighbour {dst} "
-                    f"(topology {self.topology.describe()})"
-                )
-        elif self._full and src != EXTERNAL and src == dst:
-            raise AdjacencyError(f"node {src} attempted to send to itself")
-        size = self._size_fn(payload) if self._size_fn is not None else 1
-        self.trace.on_send(src, self.current_step, payload, size)
+        if src != EXTERNAL:
+            if self._check_neighbours:
+                if dst not in self._neighbour_sets[src]:
+                    raise AdjacencyError(
+                        f"node {src} attempted to send to non-neighbour {dst} "
+                        f"(topology {self.topology.describe()})"
+                    )
+            elif self._full and src == dst:
+                raise AdjacencyError(f"node {src} attempted to send to itself")
+        size_fn = self._size_fn
+        self.trace.on_send(
+            src,
+            self.current_step,
+            payload,
+            size_fn(payload) if size_fn is not None else 1,
+        )
+        if self._fast_send:
+            # common path: reliable links, zero latency — exactly one copy,
+            # deliverable next step (enqueue inlined: this runs once per
+            # message in every simulation)
+            msg_id = self._next_msg_id
+            self._next_msg_id = msg_id + 1
+            env = Envelope(src, dst, payload, self.current_step, msg_id)
+            if self._unbounded_fifo:
+                self._push_fns[dst](env)
+            elif not self._inboxes[dst].push(env):
+                self.trace.on_drop()
+                return
+            self._queued_count += 1
+            depth = self._depths[dst]
+            self._depths[dst] = depth + 1
+            if depth == 0:
+                self._active.append(dst)
+                self._active_dirty = True
+            return
+        self._send_slow(src, dst, payload)
+
+    def _send_slow(self, src: NodeId, dst: NodeId, payload: Any) -> None:
+        """Fault-injection / link-latency send path (opt-in extensions)."""
         copies = self._faults.copies_to_deliver()
         if copies == 0:
             self.trace.on_drop()
@@ -178,11 +230,17 @@ class Machine:
                 self._in_flight_count += 1
 
     def _enqueue(self, dst: NodeId, env: Envelope) -> None:
-        if self._inboxes[dst].push(env):
-            self._queued_count += 1
-            self._nonempty.add(dst)
-        else:
+        if self._unbounded_fifo:
+            self._push_fns[dst](env)
+        elif not self._inboxes[dst].push(env):
             self.trace.on_drop()
+            return
+        self._queued_count += 1
+        depth = self._depths[dst]
+        self._depths[dst] = depth + 1
+        if depth == 0:
+            self._active.append(dst)
+            self._active_dirty = True
 
     def inject(self, node: NodeId, payload: Any) -> None:
         """Send a kickstart message from outside the machine to ``node``.
@@ -244,12 +302,12 @@ class Machine:
 
     def queue_depths(self) -> List[int]:
         """Current inbox depth for every node."""
-        return [len(q) for q in self._inboxes]
+        return list(self._depths)
 
     def queue_depth_of(self, node: NodeId) -> int:
         """Current inbox depth of one node (O(1))."""
         self.topology.check_node(node)
-        return len(self._inboxes[node])
+        return self._depths[node]
 
     def step(self) -> int:
         """Execute one simulation time step; return messages delivered."""
@@ -270,33 +328,57 @@ class Machine:
             for node in polled:
                 self.program.on_step(self._contexts[node])
         # Snapshot which queues may deliver this step (sends during the step
-        # must wait until the next one).
-        active = sorted(self._nonempty)
-        delivered = 0
-        for node in active:
-            inbox = self._inboxes[node]
-            env = inbox.pop()
-            self._queued_count -= 1
-            if not inbox:
-                self._nonempty.discard(node)
-            self.trace.on_deliver(node, step)
-            delivered += 1
-            self.program.on_message(self._contexts[node], env.src, env.payload)
+        # must wait until the next one).  The active list is only re-sorted
+        # when nodes were added since the last step; handler order within a
+        # step stays ascending node id.
+        active = self._active
+        if self._active_dirty:
+            active.sort()
+            self._active_dirty = False
+        # The first n0 entries are this step's snapshot; sends made while
+        # handling it append past n0.  Survivors compact in place below the
+        # read cursor, then the drained gap is deleted — no list churn.
+        n0 = len(active)
+        if n0:
+            pop_fns = self._pop_fns
+            contexts = self._contexts
+            depths = self._depths
+            on_deliver = self.trace.on_deliver
+            on_message = self.program.on_message
+            write = 0
+            for read in range(n0):
+                node = active[read]
+                env = pop_fns[node]()
+                depth = depths[node] - 1
+                depths[node] = depth
+                if depth:
+                    active[write] = node
+                    write += 1
+                on_deliver(node, step)
+                on_message(contexts[node], env.src, env.payload)
+            if write != n0:
+                del active[write:n0]
+            self._queued_count -= n0
         self.trace.on_step_end(
             step,
             self._queued_count,
-            delivered,
+            n0,
             self.queue_depths() if self.trace.record_queue_depths else None,
         )
-        return delivered
+        return n0
 
     def run(self, max_steps: int = 1_000_000) -> SimulationReport:
         """Run until quiescent, halted, or ``max_steps`` steps elapse."""
         if max_steps < 0:
             raise SimulationError(f"max_steps must be >= 0, got {max_steps}")
         executed = self.current_step + 1
-        while executed < max_steps and not self._halted and not self.is_quiescent:
-            self.step()
+        step = self.step
+        while (
+            executed < max_steps
+            and not self._halted
+            and (self._queued_count or self._in_flight_count or self._poll_requests)
+        ):
+            step()
             executed += 1
         return self.report()
 

@@ -62,6 +62,7 @@ class TraceRecorder:
         "last_activity_step",
         "payload_counts",
         "queue_depth_rows",
+        "_kind_cache",
     )
 
     def __init__(self, n_nodes: int, record_queue_depths: bool = False) -> None:
@@ -83,6 +84,9 @@ class TraceRecorder:
         self.last_activity_step: Optional[int] = None
         self.payload_counts: Dict[str, int] = {}
         self.queue_depth_rows: List[List[int]] = []
+        #: payload type -> kind tag; on_send runs once per message, so the
+        #: type-name lookup is cached instead of recomputed
+        self._kind_cache: Dict[type, str] = {}
 
     # -- event hooks (called by the backend) ---------------------------
 
@@ -92,8 +96,13 @@ class TraceRecorder:
         if 0 <= src < self.n_nodes:
             self.node_sent[src] += 1
             self.node_traffic[src] += size
-        kind = _payload_kind(payload)
-        self.payload_counts[kind] = self.payload_counts.get(kind, 0) + 1
+        cls = payload.__class__
+        kind = self._kind_cache.get(cls)
+        if kind is None:
+            kind = _payload_kind(payload)
+            self._kind_cache[cls] = kind
+        counts = self.payload_counts
+        counts[kind] = counts.get(kind, 0) + 1
         if self.first_activity_step is None:
             self.first_activity_step = step
         self.last_activity_step = step

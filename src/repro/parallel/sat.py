@@ -1,0 +1,116 @@
+"""Picklable SAT-sweep tasks for the parallel executor.
+
+The figure and ablation benches all reduce to the same cell: solve one CNF
+on one simulated machine with some knob settings and keep a handful of
+scalar metrics.  :class:`SatTask` captures that cell as a value,
+:func:`run_sat_task` executes it (in this process or a pool worker), and
+:class:`SatOutcome` carries back only what the benches aggregate — scalars
+plus the optional activity trace / heatmap arrays Figure 5 needs — instead
+of the full report object graph.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from ..apps.sat import solve_on_machine
+from ..apps.sat.cnf import CNF
+from ..topology import Topology
+from .executor import run_tasks
+
+__all__ = ["SatTask", "SatOutcome", "run_sat_task", "solve_sat_tasks"]
+
+
+class SatTask(NamedTuple):
+    """One sweep cell: formula + machine + solver/stack knobs.
+
+    Field defaults mirror :func:`repro.apps.sat.solve_on_machine`;
+    ``collect_activity`` / ``collect_heatmap`` opt into the Figure-5
+    arrays (omitted from the result otherwise to keep IPC cheap).
+    """
+
+    cnf: CNF
+    topology: Topology
+    mapper: str = "rr"
+    status: Optional[int] = None
+    heuristic: str = "max_occurrence"
+    cancellation: bool = False
+    hint_mode: Optional[str] = None
+    simplify: str = "none"
+    seed: int = 0
+    max_steps: int = 1_000_000
+    drain: bool = True
+    share_threshold: Optional[int] = None
+    sat_sizing: bool = False
+    collect_activity: bool = False
+    collect_heatmap: bool = False
+
+
+class SatOutcome(NamedTuple):
+    """The metrics one sweep cell contributes to its bench's aggregates."""
+
+    computation_time: int
+    sent_total: int
+    delivered_total: int
+    traffic_total: int
+    peak_queued: int
+    active_nodes: int
+    satisfiable: bool
+    verified: bool
+    invocations: int
+    completions: int
+    activity: Optional[np.ndarray] = None
+    heatmap: Optional[np.ndarray] = None
+
+
+def run_sat_task(task: SatTask) -> SatOutcome:
+    """Execute one sweep cell; the pool's worker function."""
+    size_fn = None
+    if task.sat_sizing:
+        from ..apps.sat import sat_content_size
+        from ..netsim import make_envelope_sizer
+
+        size_fn = make_envelope_sizer(sat_content_size)
+    res = solve_on_machine(
+        task.cnf,
+        task.topology,
+        mapper=task.mapper,
+        status=task.status,
+        heuristic=task.heuristic,
+        cancellation=task.cancellation,
+        hint_mode=task.hint_mode,
+        simplify=task.simplify,
+        seed=task.seed,
+        max_steps=task.max_steps,
+        drain=task.drain,
+        share_threshold=task.share_threshold,
+        size_fn=size_fn,
+    )
+    report = res.report
+    stats = res.engine_stats
+    return SatOutcome(
+        computation_time=report.computation_time,
+        sent_total=report.sent_total,
+        delivered_total=report.delivered_total,
+        traffic_total=report.traffic_total,
+        peak_queued=report.peak_queued,
+        active_nodes=report.active_node_count,
+        satisfiable=res.satisfiable,
+        verified=res.verified,
+        invocations=stats.invocations if stats is not None else 0,
+        completions=stats.completions if stats is not None else 0,
+        activity=report.interconnect_activity if task.collect_activity else None,
+        heatmap=report.heatmap() if task.collect_heatmap else None,
+    )
+
+
+def solve_sat_tasks(
+    tasks: Sequence[SatTask],
+    *,
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> "list[SatOutcome]":
+    """Run a batch of sweep cells, results in task order (deterministic)."""
+    return run_tasks(run_sat_task, tasks, jobs=jobs, chunksize=chunksize)

@@ -121,3 +121,33 @@ class TestUf20Suite:
         suite = uf20_91_suite(2, seed=5, planted=True)
         for cnf in suite:
             assert dpll_solve(cnf).satisfiable
+
+
+class TestSuiteMemoisation:
+    def test_repeat_calls_share_instances(self):
+        from repro.apps.sat.generator import clear_suite_cache
+
+        clear_suite_cache()
+        first = uf20_91_suite(2, seed=11)
+        second = uf20_91_suite(2, seed=11)
+        # same immutable CNF objects, not regenerated copies
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_returned_list_is_a_fresh_copy(self):
+        suite = uf20_91_suite(2, seed=11)
+        suite.append("sentinel")
+        assert len(uf20_91_suite(2, seed=11)) == 2
+
+    def test_cache_keys_distinguish_parameters(self):
+        assert uf20_91_suite(2, seed=11)[0] is not uf20_91_suite(2, seed=12)[0]
+        planted = uf20_91_suite(2, seed=11, planted=True)
+        assert planted[0] is not uf20_91_suite(2, seed=11)[0]
+
+    def test_clear_suite_cache_forces_regeneration(self):
+        from repro.apps.sat.generator import clear_suite_cache
+
+        before = uf20_91_suite(2, seed=11)
+        clear_suite_cache()
+        after = uf20_91_suite(2, seed=11)
+        assert before == after  # same seed, same formulas ...
+        assert before[0] is not after[0]  # ... but freshly built objects

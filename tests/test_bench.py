@@ -9,6 +9,9 @@ from repro.bench import (
     FULL,
     QUICK,
     figure4_series,
+    figure4_to_dict,
+    figure5_to_dict,
+    format_json,
     format_series_block,
     format_table,
     heatmap_ascii,
@@ -19,6 +22,7 @@ from repro.bench import (
     run_figure5,
     sat_suite,
     sparkline,
+    write_json,
 )
 
 TINY = BenchPreset("tiny", 2, (9, 64))
@@ -86,6 +90,17 @@ class TestFigure4Harness:
         with pytest.raises(KeyError):
             result.performance_at_scale("4D Torus")
 
+    def test_to_dict_round_trips_through_json(self, result, tmp_path):
+        import json
+
+        payload = figure4_to_dict(result)
+        assert set(payload["series"]) == set(result.labels())
+        path = write_json(tmp_path / "fig4.json", payload)
+        loaded = json.loads(path.read_text())
+        pts = loaded["series"]["2D Torus + RR"]
+        assert len(pts) == len(result.series("2D Torus + RR"))
+        assert pts[0]["mean_computation_time"] == result.series("2D Torus + RR")[0].mean_ct
+
 
 class TestFigure5Harness:
     @pytest.fixture(scope="class")
@@ -110,6 +125,16 @@ class TestFigure5Harness:
         text = render_figure5(result)
         assert "Round Robin" in text
         assert "Least Busy Neighbour" in text
+
+    def test_to_dict_is_json_ready(self, result):
+        import json
+
+        payload = figure5_to_dict(result)
+        loaded = json.loads(format_json(payload))
+        assert set(loaded["mappers"]) == {"rr", "lbn"}
+        rr = loaded["mappers"]["rr"]
+        assert len(rr["traces"]) == 2
+        assert len(rr["heatmap"]) == 14
 
 
 class TestRendering:
@@ -157,3 +182,23 @@ class TestRendering:
     def test_series_block(self):
         out = format_series_block({"a": [1, 2, 3], "b": [0, 0]})
         assert "a" in out and "peak=3" in out
+
+    def test_format_json_handles_numpy_and_inf(self):
+        import json
+
+        payload = {
+            "arr": np.arange(3),
+            "n": np.int64(7),
+            "x": np.float64(1.5),
+            "perf": float("inf"),
+        }
+        loaded = json.loads(format_json(payload))
+        assert loaded == {"arr": [0, 1, 2], "n": 7, "x": 1.5, "perf": "inf"}
+
+    def test_format_json_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            format_json({"bad": object()})
+
+    def test_write_json_appends_newline(self, tmp_path):
+        path = write_json(tmp_path / "out.json", {"a": 1})
+        assert path.read_text().endswith("}\n")

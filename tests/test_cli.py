@@ -24,6 +24,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["solve", "--mapper", "psychic"])
 
+    def test_figure_jobs_and_json_flags(self):
+        for figure in ("figure4", "figure5"):
+            args = build_parser().parse_args([figure])
+            assert args.jobs is None and args.json is None
+            args = build_parser().parse_args(
+                [figure, "-j", "4", "--json", "out.json"]
+            )
+            assert args.jobs == 4 and args.json == "out.json"
+
 
 class TestTopoCommand:
     def test_torus(self, capsys):
