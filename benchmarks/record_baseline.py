@@ -50,9 +50,9 @@ class _Storm:
         ctx.send(ctx.neighbours[ctx.state & 3], payload)
 
 
-def storm_rate(steps: int = 400) -> float:
+def storm_rate(steps: int = 400, telemetry=None) -> float:
     """Deliveries/s with all 400 nodes of a 20x20 torus busy every step."""
-    m = Machine(Torus((20, 20)), _Storm())
+    m = Machine(Torus((20, 20)), _Storm(), telemetry=telemetry)
     for n in range(400):
         m.inject(n, EMPTY_MSG)
     m.step()  # warm-up: one step to populate every queue
@@ -73,9 +73,9 @@ class _PingPong:
         ctx.send(ctx.neighbours[0], payload)
 
 
-def sparse_rate(steps: int = 60_000) -> float:
+def sparse_rate(steps: int = 60_000, telemetry=None) -> float:
     """Steps/s with a single active node on a 256-core torus."""
-    m = Machine(Torus((16, 16)), _PingPong())
+    m = Machine(Torus((16, 16)), _PingPong(), telemetry=telemetry)
     m.inject(0, EMPTY_MSG)
     m.step()
     t0 = time.perf_counter()
@@ -112,6 +112,51 @@ def measure_micro(repeats: int) -> dict:
         "flood_torus400": med(flood_rate),
         "sparse_torus256": med(sparse_rate),
     }
+
+
+def measure_telemetry_overhead(repeats: int) -> dict:
+    """Cost of the telemetry bus on the layer-1 hot path.
+
+    Three storm/sparse configurations:
+
+    * ``disabled`` — ``telemetry=None``, the default; the emission sites
+      reduce to one ``is None`` check and must stay within a few percent
+      of the plain rate (the PR's zero-overhead contract);
+    * ``metrics`` — a bus with a :class:`~repro.telemetry.MetricsSubscriber`
+      attached (aggregation only, no event retention);
+    * ``full`` — metrics plus a :class:`~repro.telemetry.ChromeTraceExporter`
+      retaining every event (the ``repro trace`` pipeline).
+    """
+    from repro.telemetry import ChromeTraceExporter, MetricsSubscriber, TelemetryBus
+
+    def med(fn):
+        vals = sorted(fn() for _ in range(repeats))
+        return round(vals[len(vals) // 2])
+
+    def metrics_bus():
+        bus = TelemetryBus()
+        bus.attach(MetricsSubscriber())
+        return bus
+
+    def full_bus():
+        bus = TelemetryBus()
+        bus.attach(MetricsSubscriber())
+        bus.attach(ChromeTraceExporter())
+        return bus
+
+    out = {"unit": "deliveries per second (sparse: steps per second)"}
+    for name, rate in (("storm_torus400", storm_rate), ("sparse_torus256", sparse_rate)):
+        disabled = med(lambda: rate(telemetry=None))
+        metrics = med(lambda: rate(telemetry=metrics_bus()))
+        full = med(lambda: rate(telemetry=full_bus()))
+        out[name] = {
+            "disabled": disabled,
+            "metrics": metrics,
+            "full_trace": full,
+            "metrics_overhead_pct": round(100.0 * (1.0 - metrics / disabled), 1),
+            "full_trace_overhead_pct": round(100.0 * (1.0 - full / disabled), 1),
+        }
+    return out
 
 
 # -- figure-4 sweep wall time ---------------------------------------------
@@ -151,6 +196,11 @@ def main(argv=None) -> int:
     parser.add_argument("--compare", metavar="PATH", default=None,
                         help="also run the microbenchmarks against another "
                              "checkout and record the improvement")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="also capture a telemetry-instrumented SAT run "
+                             "and write a Chrome/Perfetto trace to PATH")
+    parser.add_argument("--skip-figure4", action="store_true",
+                        help="record only the microbenchmarks (fast mode)")
     parser.add_argument("--micro-json", action="store_true",
                         help=argparse.SUPPRESS)  # subprocess mode for --compare
     args = parser.parse_args(argv)
@@ -168,6 +218,7 @@ def main(argv=None) -> int:
             "cpu_count": os.cpu_count(),
         },
         "microbenchmark": measure_micro(args.repeats),
+        "telemetry_overhead": measure_telemetry_overhead(args.repeats),
     }
     if args.compare:
         env = dict(os.environ)
@@ -183,7 +234,19 @@ def main(argv=None) -> int:
             k: round(100.0 * (payload["microbenchmark"][k] / reference[k] - 1.0), 1)
             for k in ("storm_torus400", "flood_torus400", "sparse_torus256")
         }
-    payload["figure4_quick"] = measure_figure4(args.jobs)
+    if not args.skip_figure4:
+        payload["figure4_quick"] = measure_figure4(args.jobs)
+    if args.trace:
+        from repro.telemetry import capture_workload
+
+        summary = capture_workload("sat", args.trace)
+        payload["trace"] = {
+            "workload": summary["workload"],
+            "events": summary["events"],
+            "layers": summary["layers"],
+            "trace_path": summary["trace_path"],
+        }
+        print(f"Perfetto trace written to {summary['trace_path']}")
 
     from repro.bench import write_json
 

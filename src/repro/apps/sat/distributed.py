@@ -22,6 +22,7 @@ from typing import Any, Dict, NamedTuple, Optional, Tuple
 from ...errors import ApplicationError
 from ...recursion import Call, Choice, Result, Sync
 from ...stack import HyperspaceStack
+from ...telemetry.probe import probe, probe_enabled
 from ...topology import NodeId, Topology
 from .cnf import CNF, var_of
 from .dpll import assign_pures, propagate_units
@@ -139,6 +140,8 @@ def make_solve_sat(
             yield Result(model)
             return
         if cnf.has_empty_clause:
+            if probe_enabled():
+                probe("dpll.backtrack", depth=len(model), reason="empty_clause")
             yield Result(None)
             return
         # lines 6-8: unit propagation / lines 9-11: pure literal assignment
@@ -148,6 +151,8 @@ def make_solve_sat(
                 cnf = assign_pures(cnf, model)
             # simplification may already decide the sub-problem
             if cnf.has_empty_clause:
+                if probe_enabled():
+                    probe("dpll.backtrack", depth=len(model), reason="conflict")
                 yield Result(None)
                 return
             if cnf.is_consistent:
@@ -156,6 +161,13 @@ def make_solve_sat(
         # lines 12-14: branch on a selected literal
         lit = heuristic(cnf)
         var, value = var_of(lit), lit > 0
+        if probe_enabled():
+            probe(
+                "dpll.branch",
+                var=var,
+                depth=len(model),
+                clauses=cnf.num_clauses,
+            )
         base = SatProblem(cnf, tuple(model.items()))
         sub1 = SatProblem(cnf.assign(lit), base.assignment + ((var, value),))
         sub2 = SatProblem(cnf.assign(-lit), base.assignment + ((var, not value),))
@@ -220,6 +232,7 @@ def solve_on_machine(
     drain: bool = True,
     share_threshold: Optional[int] = None,
     size_fn=None,
+    telemetry=None,
 ) -> DistributedSatResult:
     """Solve one formula on a simulated machine; the one-call entry point.
 
@@ -238,7 +251,10 @@ def solve_on_machine(
     ``share_threshold`` and ``size_fn`` pass straight through to the
     :class:`~repro.stack.HyperspaceStack` (layer-3 work sharing and the
     bandwidth-accounting message sizer) so sweep tasks can cover the
-    ablation benches' configurations too.
+    ablation benches' configurations too.  ``telemetry`` likewise: pass a
+    :class:`~repro.telemetry.TelemetryBus` (or ``True`` for a fresh one)
+    to capture structured events from all five layers, including the
+    solver's ``dpll.branch`` / ``dpll.backtrack`` probes.
     """
     stack = HyperspaceStack(
         topology,
@@ -249,6 +265,7 @@ def solve_on_machine(
         record_queue_depths=record_queue_depths,
         share_threshold=share_threshold,
         size_fn=size_fn,
+        telemetry=telemetry,
     )
     fn = make_solve_sat(
         heuristic, rng=random.Random(seed), hint_mode=hint_mode, simplify=simplify

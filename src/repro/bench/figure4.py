@@ -59,6 +59,8 @@ class Figure4Result:
     def __init__(self, preset: BenchPreset, points: List[Figure4Point]):
         self.preset = preset
         self.points = points
+        #: summary of the representative traced cell (``trace_path`` runs)
+        self.trace_summary: Optional[Dict[str, object]] = None
 
     def series(self, label: str) -> List[Figure4Point]:
         """Points of one curve, ordered by machine size."""
@@ -90,6 +92,7 @@ def run_figure4(
     heuristic: str = "max_occurrence",
     verbose: bool = False,
     jobs: Optional[int] = None,
+    trace_path: Optional[str] = None,
 ) -> Figure4Result:
     """Sweep the Figure-4 grid and return all data points.
 
@@ -104,6 +107,13 @@ def run_figure4(
     out over a process pool (see :mod:`repro.parallel`); every cell is a
     separately seeded simulation, so the result is bit-identical to a
     serial run regardless of worker count.
+
+    ``trace_path`` additionally captures one representative cell — the
+    largest 2D-torus + LBN configuration on problem 0 — with a full
+    telemetry pipeline and writes a Chrome/Perfetto trace there.  The
+    traced run happens in-process after the sweep (telemetry buses do not
+    cross the process-pool boundary), so it never perturbs the sweep
+    numbers; its summary lands in :attr:`Figure4Result.trace_summary`.
     """
     problems = sat_suite(preset)
     # flatten the sweep: one cell per (series, machine size), one task per
@@ -169,7 +179,23 @@ def run_figure4(
                 f"ct={point.mean_ct:8.1f} perf={point.performance:.5f}",
                 flush=True,
             )
-    return Figure4Result(preset, points)
+    result = Figure4Result(preset, points)
+    if trace_path is not None:
+        from ..telemetry import capture_sat_trace
+
+        trace_topo = mesh_for("torus2d", max(preset.core_counts))
+        result.trace_summary = capture_sat_trace(
+            problems[0],
+            trace_topo,
+            trace_path,
+            mapper="lbn",
+            status=status_threshold,
+            heuristic=heuristic,
+            simplify=simplify,
+            seed=preset.seed,
+            max_steps=preset.max_steps,
+        )
+    return result
 
 
 def assert_figure4_shape(result: Figure4Result) -> None:

@@ -49,6 +49,8 @@ class Figure5Result:
         self.heatmaps = heatmaps
         #: mapper -> computation time per problem
         self.computation_times = computation_times
+        #: summary of the representative traced cell (``trace_path`` runs)
+        self.trace_summary: Optional[Dict[str, object]] = None
 
     def peak_queued(self, mapper: str) -> int:
         """Highest queue population over all problems for one mapper."""
@@ -71,12 +73,18 @@ def run_figure5(
     simplify: str = "none",
     heuristic: str = "max_occurrence",
     jobs: Optional[int] = None,
+    trace_path: Optional[str] = None,
 ) -> Figure5Result:
     """Profile the benchmark suite on the 196-core 2D torus of Figure 5.
 
     ``jobs`` fans the per-``(mapper, problem)`` runs out over a process
     pool (see :mod:`repro.parallel`); results are bit-identical to a
     serial sweep.
+
+    ``trace_path`` additionally captures the LBN mapper on problem 0 —
+    the heatmap cell of the bottom row — with a full telemetry pipeline
+    and writes a Chrome/Perfetto trace there (in-process, after the
+    sweep; see :func:`repro.bench.run_figure4`).
     """
     problems = sat_suite(preset)
     topo = Torus(FIGURE5_TORUS_DIMS)
@@ -110,7 +118,22 @@ def run_figure5(
         cts[mapper].append(out.computation_time)
         if i == 0:
             heatmaps[mapper] = out.heatmap
-    return Figure5Result(preset, traces, heatmaps, cts)
+    result = Figure5Result(preset, traces, heatmaps, cts)
+    if trace_path is not None:
+        from ..telemetry import capture_sat_trace
+
+        result.trace_summary = capture_sat_trace(
+            problems[0],
+            topo,
+            trace_path,
+            mapper="lbn",
+            status=status_threshold,
+            heuristic=heuristic,
+            simplify=simplify,
+            seed=preset.seed,
+            max_steps=preset.max_steps,
+        )
+    return result
 
 
 def assert_figure5_shape(result: Figure5Result) -> None:

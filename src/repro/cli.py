@@ -7,7 +7,9 @@ Commands
 ``generate``  write uf20-91-style DIMACS benchmark files;
 ``topo``      describe a topology spec (nodes, links, diameter, ...);
 ``figure4``   regenerate the paper's Figure 4 scalability table;
-``figure5``   regenerate the paper's Figure 5 traces and heatmaps.
+``figure5``   regenerate the paper's Figure 5 traces and heatmaps;
+``trace``     run a packaged workload with full telemetry and write a
+              Chrome/Perfetto trace (open at https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -71,6 +73,30 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", metavar="PATH", default=None,
             help="also write the figure data as JSON to PATH",
         )
+        fig.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="also capture one representative sweep cell with full "
+                 "telemetry and write a Chrome/Perfetto trace to PATH",
+        )
+
+    trace = sub.add_parser(
+        "trace",
+        help="capture a Chrome/Perfetto trace of a packaged workload",
+        description=(
+            "Run one packaged workload with the telemetry bus enabled and "
+            "write a Chrome trace-event JSON file (load it at "
+            "https://ui.perfetto.dev).  WORKLOAD is a registry name (sat, "
+            "sumrec, fib, nqueens, traversal) or the path of an example "
+            "script (examples/sat_solver.py)."
+        ),
+    )
+    trace.add_argument("workload", help="workload name or examples/ script path")
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="trace output path (default: trace.json)")
+    trace.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also dump aggregated metrics (.json or .csv)")
+    trace.add_argument("--topology", default=None, help="override machine spec")
+    trace.add_argument("--seed", type=int, default=2017)
 
     return parser
 
@@ -170,11 +196,17 @@ def _cmd_figure4(args) -> int:
 
     preset = FULL if args.preset == "full" else QUICK
     result = run_figure4(
-        preset, status_threshold=args.status, verbose=True, jobs=args.jobs
+        preset,
+        status_threshold=args.status,
+        verbose=True,
+        jobs=args.jobs,
+        trace_path=args.trace,
     )
     print(render_figure4(result))
     if args.json:
         print(f"\nJSON written to {write_json(args.json, figure4_to_dict(result))}")
+    if result.trace_summary is not None:
+        print(f"\nPerfetto trace written to {result.trace_summary['trace_path']}")
     assert_figure4_shape(result)
     print("\nall Figure-4 qualitative claims hold")
     return 0
@@ -192,12 +224,40 @@ def _cmd_figure5(args) -> int:
     )
 
     preset = FULL if args.preset == "full" else QUICK
-    result = run_figure5(preset, jobs=args.jobs)
+    result = run_figure5(preset, jobs=args.jobs, trace_path=args.trace)
     print(render_figure5(result))
     if args.json:
         print(f"\nJSON written to {write_json(args.json, figure5_to_dict(result))}")
+    if result.trace_summary is not None:
+        print(f"\nPerfetto trace written to {result.trace_summary['trace_path']}")
     assert_figure5_shape(result)
     print("\nall Figure-5 qualitative claims hold")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .telemetry import LAYER_NAMES, capture_workload
+
+    try:
+        summary = capture_workload(
+            args.workload,
+            args.out,
+            metrics_path=args.metrics,
+            topology=args.topology,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"workload   {summary['workload']} — {summary['description']}")
+    print(f"machine    {summary['topology']}")
+    for key, value in summary["result"].items():
+        print(f"{key:10s} {value}")
+    layers = ", ".join(LAYER_NAMES[n] for n in summary["layers"])
+    print(f"events     {summary['events']} across {layers}")
+    print(f"trace      {summary['trace_path']} (open at https://ui.perfetto.dev)")
+    if "metrics_path" in summary:
+        print(f"metrics    {summary['metrics_path']}")
     return 0
 
 
@@ -210,6 +270,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "topo": _cmd_topo,
         "figure4": _cmd_figure4,
         "figure5": _cmd_figure5,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

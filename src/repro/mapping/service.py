@@ -20,7 +20,7 @@ per-neighbour record, and an optional
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..errors import MappingError, UnknownTicketError
 from ..rng import SeedSequence
@@ -30,6 +30,9 @@ from .envelopes import CancelMsg, ReplyMsg, StatusMsg, WorkMsg
 from .mappers import Mapper, MapperFactory, MapperView
 from .status import NoStatusPolicy, StatusPolicy, StatusPolicyFactory
 from .tickets import ReplyHandle, Ticket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..telemetry import TelemetryBus
 
 __all__ = ["MappedApp", "MappingContext", "MappingService", "queue_depth_load"]
 
@@ -185,6 +188,15 @@ class MappingContext:
             sender_count=view.received_count,
         )
         self._pctx.send(Address(dst, self._pctx.pid), msg)
+        tel = self._service._telemetry
+        if tel is not None:
+            tel.emit(
+                3,
+                "ticket_issue",
+                self._pctx.step,
+                self.node,
+                attrs={"ticket": str(ticket), "dst": dst, "hint": hint},
+            )
         return ticket
 
     def reply(self, handle: Optional[ReplyHandle], payload: Any) -> None:
@@ -195,8 +207,11 @@ class MappingContext:
         to this node's ``results`` (and halts the machine when the service
         was configured with ``halt_on_result``).
         """
+        tel = self._service._telemetry
         if handle is None:
             self._mstate.results.append(payload)
+            if tel is not None:
+                tel.emit(3, "external_result", self._pctx.step, self.node)
             if self._service.halt_on_result:
                 self._pctx.machine.halt()
             return
@@ -207,6 +222,14 @@ class MappingContext:
             handle.ticket, payload, route[1:], self._mstate.view.received_count
         )
         self._pctx.send(Address(route[0], self._pctx.pid), msg)
+        if tel is not None:
+            tel.emit(
+                3,
+                "reply_sent",
+                self._pctx.step,
+                self.node,
+                attrs={"ticket": str(handle.ticket), "route_len": len(route)},
+            )
 
     def cancel(self, ticket: Ticket) -> None:
         """Cancel previously delegated work (extension; see §IV-C).
@@ -219,6 +242,15 @@ class MappingContext:
             return
         msg = CancelMsg(ticket, self._mstate.view.received_count)
         self._pctx.send(Address(dst, self._pctx.pid), msg)
+        tel = self._service._telemetry
+        if tel is not None:
+            tel.emit(
+                3,
+                "cancel_sent",
+                self._pctx.step,
+                self.node,
+                attrs={"ticket": str(ticket), "dst": dst},
+            )
 
 
 class MappingService:
@@ -254,6 +286,11 @@ class MappingService:
         machine; application-level probes like
         :meth:`repro.recursion.RecursionEngine.load_probe` are also
         accepted.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryBus`; when given, the
+        service publishes the layer-3 ticket lifecycle (``ticket_issue`` /
+        ``ticket_claim`` / ``ticket_forward``), reply and cancel traffic,
+        and ``status_broadcast`` events.
     """
 
     def __init__(
@@ -267,6 +304,7 @@ class MappingService:
         share_threshold: Optional[int] = None,
         load_fn: Optional[Callable[[Any], int]] = None,
         max_share_hops: int = 4,
+        telemetry: Optional["TelemetryBus"] = None,
     ) -> None:
         if forward_hops < 0:
             raise MappingError(f"forward_hops must be >= 0, got {forward_hops}")
@@ -287,6 +325,7 @@ class MappingService:
         self.share_threshold = share_threshold
         self.load_fn = load_fn
         self.max_share_hops = max_share_hops
+        self._telemetry = telemetry
 
     # -- layer-2 Process interface --------------------------------------
 
@@ -323,6 +362,18 @@ class MappingService:
                 # overloaded: push the work onward rather than execute it
                 self._forward_work(pctx, mstate, payload, consume_hop=False)
             else:
+                tel = self._telemetry
+                if tel is not None:
+                    tel.emit(
+                        3,
+                        "ticket_claim",
+                        pctx.step,
+                        pctx.node,
+                        attrs={
+                            "ticket": str(payload.ticket),
+                            "hops": len(payload.path),
+                        },
+                    )
                 handle = ReplyHandle(
                     payload.ticket, tuple(reversed(payload.path))
                 )
@@ -349,6 +400,15 @@ class MappingService:
                 if sender is not None:
                     mstate.mapper.on_reply(view, sender.node)
                 mstate.forward_table.pop(payload.ticket, None)
+                tel = self._telemetry
+                if tel is not None:
+                    tel.emit(
+                        3,
+                        "reply_delivered",
+                        pctx.step,
+                        pctx.node,
+                        attrs={"ticket": str(payload.ticket)},
+                    )
                 self.app.on_reply(mctx, payload.ticket, payload.payload)
         elif isinstance(payload, StatusMsg):
             if sender is not None:
@@ -403,6 +463,19 @@ class MappingService:
             sender_count=view.received_count,
         )
         pctx.send(Address(dst, pctx.pid), fwd)
+        tel = self._telemetry
+        if tel is not None:
+            tel.emit(
+                3,
+                "ticket_forward",
+                pctx.step,
+                pctx.node,
+                attrs={
+                    "ticket": str(msg.ticket),
+                    "dst": dst,
+                    "shared": not consume_hop,
+                },
+            )
 
     def _maybe_broadcast_status(self, pctx: ProcessContext, mstate: _MapState) -> None:
         if mstate.status.should_broadcast(mstate.view.received_count):
@@ -410,6 +483,15 @@ class MappingService:
             for n in pctx.neighbours:
                 pctx.send(Address(n, pctx.pid), StatusMsg(count))
             mstate.status.on_broadcast(count)
+            tel = self._telemetry
+            if tel is not None:
+                tel.emit(
+                    3,
+                    "status_broadcast",
+                    pctx.step,
+                    pctx.node,
+                    attrs={"count": count, "fanout": len(pctx.neighbours)},
+                )
 
     # -- inspection -------------------------------------------------------
 

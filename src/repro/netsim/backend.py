@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import random
 from functools import partial
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..telemetry import TelemetryBus
 
 from ..errors import AdjacencyError, SimulationError
 from ..topology import NodeId, Topology
@@ -71,6 +74,12 @@ class Machine:
     size_fn:
         Optional message-size model for bandwidth accounting (see
         :mod:`repro.netsim.sizing`); default charges one unit per message.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryBus`; when given, the
+        machine publishes layer-1 ``send`` / ``deliver`` / ``drop`` events
+        and a per-step ``queued`` counter.  ``None`` (default) keeps every
+        hot path behind a single ``is None`` check — the invariant the
+        storm/flood microbench guard in ``docs/observability.md`` pins.
     """
 
     def __init__(
@@ -87,9 +96,11 @@ class Machine:
         faults: FaultModel = ReliableLinks,
         seed: int = 0,
         size_fn: Optional[Callable[[Any], int]] = None,
+        telemetry: Optional["TelemetryBus"] = None,
     ) -> None:
         self.topology = topology
         self.program = program
+        self._telemetry = telemetry
         self.trace = trace if trace is not None else TraceRecorder(topology.n_nodes)
         if self.trace.n_nodes != topology.n_nodes:
             raise SimulationError(
@@ -180,12 +191,11 @@ class Machine:
             elif self._full and src == dst:
                 raise AdjacencyError(f"node {src} attempted to send to itself")
         size_fn = self._size_fn
-        self.trace.on_send(
-            src,
-            self.current_step,
-            payload,
-            size_fn(payload) if size_fn is not None else 1,
-        )
+        size = size_fn(payload) if size_fn is not None else 1
+        self.trace.on_send(src, self.current_step, payload, size)
+        tel = self._telemetry
+        if tel is not None:
+            tel.emit(1, "send", self.current_step, src, attrs={"dst": dst, "size": size})
         if self._fast_send:
             # common path: reliable links, zero latency — exactly one copy,
             # deliverable next step (enqueue inlined: this runs once per
@@ -196,7 +206,7 @@ class Machine:
             if self._unbounded_fifo:
                 self._push_fns[dst](env)
             elif not self._inboxes[dst].push(env):
-                self.trace.on_drop()
+                self._record_drop(dst, "overflow")
                 return
             self._queued_count += 1
             depth = self._depths[dst]
@@ -207,11 +217,18 @@ class Machine:
             return
         self._send_slow(src, dst, payload)
 
+    def _record_drop(self, dst: NodeId, reason: str) -> None:
+        """Account one dropped message, attributed to ``dst`` at this step."""
+        self.trace.on_drop(dst, self.current_step)
+        tel = self._telemetry
+        if tel is not None:
+            tel.emit(1, "drop", self.current_step, dst, attrs={"reason": reason})
+
     def _send_slow(self, src: NodeId, dst: NodeId, payload: Any) -> None:
         """Fault-injection / link-latency send path (opt-in extensions)."""
         copies = self._faults.copies_to_deliver()
         if copies == 0:
-            self.trace.on_drop()
+            self._record_drop(dst, "fault")
             return
         for _ in range(copies):
             env = Envelope(src, dst, payload, self.current_step, self._next_msg_id)
@@ -233,7 +250,7 @@ class Machine:
         if self._unbounded_fifo:
             self._push_fns[dst](env)
         elif not self._inboxes[dst].push(env):
-            self.trace.on_drop()
+            self._record_drop(dst, "overflow")
             return
         self._queued_count += 1
         depth = self._depths[dst]
@@ -339,6 +356,7 @@ class Machine:
         # handling it append past n0.  Survivors compact in place below the
         # read cursor, then the drained gap is deleted — no list churn.
         n0 = len(active)
+        tel = self._telemetry
         if n0:
             pop_fns = self._pop_fns
             contexts = self._contexts
@@ -355,6 +373,8 @@ class Machine:
                     active[write] = node
                     write += 1
                 on_deliver(node, step)
+                if tel is not None:
+                    tel.emit(1, "deliver", step, node)
                 on_message(contexts[node], env.src, env.payload)
             if write != n0:
                 del active[write:n0]
@@ -365,6 +385,13 @@ class Machine:
             n0,
             self.queue_depths() if self.trace.record_queue_depths else None,
         )
+        if tel is not None:
+            tel.emit(
+                1,
+                "queued",
+                step,
+                attrs={"value": self._queued_count, "delivered": n0},
+            )
         return n0
 
     def run(self, max_steps: int = 1_000_000) -> SimulationReport:

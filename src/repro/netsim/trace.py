@@ -53,6 +53,7 @@ class TraceRecorder:
         "delivered_series",
         "node_delivered",
         "node_sent",
+        "node_dropped",
         "sent_total",
         "delivered_total",
         "dropped_total",
@@ -74,6 +75,7 @@ class TraceRecorder:
         self.delivered_series: List[int] = []
         self.node_delivered = [0] * n_nodes
         self.node_sent = [0] * n_nodes
+        self.node_dropped = [0] * n_nodes
         self.sent_total = 0
         self.delivered_total = 0
         self.dropped_total = 0
@@ -107,8 +109,22 @@ class TraceRecorder:
             self.first_activity_step = step
         self.last_activity_step = step
 
-    def on_drop(self) -> None:
+    def on_drop(self, dst: int = -1, step: int = -1) -> None:
+        """Account one dropped message.
+
+        ``dst`` is the node the message was addressed to and ``step`` the
+        step it was dropped at, so reports can attribute losses (fault
+        injection, queue overflow) spatially.  Both default to ``-1`` for
+        backward compatibility with pre-telemetry callers; unattributed
+        drops still count toward ``dropped_total``.
+        """
         self.dropped_total += 1
+        if 0 <= dst < self.n_nodes:
+            self.node_dropped[dst] += 1
+        if step >= 0:
+            self.last_activity_step = step
+            if self.first_activity_step is None:
+                self.first_activity_step = step
 
     def on_deliver(self, dst: int, step: int) -> None:
         self.delivered_total += 1
@@ -157,6 +173,10 @@ class SimulationReport:
         self.delivered_series = np.asarray(trace.delivered_series, dtype=np.int64)
         self.node_delivered = np.asarray(trace.node_delivered, dtype=np.int64)
         self.node_sent = np.asarray(trace.node_sent, dtype=np.int64)
+        #: messages dropped per addressed node (fault injection / overflow);
+        #: drops recorded through the legacy no-argument ``on_drop()`` are
+        #: unattributed and appear only in ``dropped_total``
+        self.node_dropped = np.asarray(trace.node_dropped, dtype=np.int64)
         self.traffic_total = trace.traffic_total
         self.node_traffic = np.asarray(trace.node_traffic, dtype=np.int64)
         self.first_activity_step = trace.first_activity_step

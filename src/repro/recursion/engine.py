@@ -21,12 +21,16 @@ cascading through their own outstanding subcalls.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
 
 from ..errors import ProtocolError, RecursionLayerError
 from ..mapping import MappingContext, ReplyHandle, Ticket
+from ..telemetry.probe import set_probe_node
 from .ops import Call, Choice, Result, Sync, coerce_op
 from .records import CallRecord, Invocation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..telemetry import TelemetryBus
 
 __all__ = ["RecursionEngine", "RecursiveFunction", "EngineStats"]
 
@@ -100,13 +104,26 @@ class RecursionEngine:
         If True, losing evaluations of a choice group — and, transitively,
         their own outstanding subcalls — are actively cancelled instead of
         merely ignored.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryBus`; when given, the
+        engine publishes layer-4 events — an ``invocation`` span per
+        completed activation plus ``call`` / ``choice`` / ``sync`` /
+        ``result`` / ``choice_win`` / ``choice_exhausted`` / ``cancelled``
+        / ``late_reply`` instants — and keeps the layer-5 probe node
+        current while driving user generators.
     """
 
-    def __init__(self, fn: RecursiveFunction, cancellation: bool = False) -> None:
+    def __init__(
+        self,
+        fn: RecursiveFunction,
+        cancellation: bool = False,
+        telemetry: Optional["TelemetryBus"] = None,
+    ) -> None:
         if not callable(fn):
             raise RecursionLayerError(f"fn must be callable, got {fn!r}")
         self.fn = fn
         self.cancellation = cancellation
+        self._telemetry = telemetry
 
     # -- MappedApp protocol ----------------------------------------------
 
@@ -127,7 +144,7 @@ class RecursionEngine:
                 f"{getattr(self.fn, '__name__', self.fn)!r} must be a generator "
                 "function (it returned a non-generator)"
             )
-        inv = Invocation(st.next_inv_id, gen, reply)
+        inv = Invocation(st.next_inv_id, gen, reply, start_step=mctx.step)
         st.next_inv_id += 1
         st.invocations[inv.inv_id] = inv
         if reply is not None:
@@ -137,18 +154,43 @@ class RecursionEngine:
 
     def on_reply(self, mctx: MappingContext, ticket: Ticket, payload: Any) -> None:
         st: _EngineState = mctx.state
+        tel = self._telemetry
         entry = st.pending.pop(ticket, None)
         if entry is None:
             # evaluation for a retired/cancelled subcall; drop it
             st.stats.late_replies += 1
+            if tel is not None:
+                tel.emit(
+                    4,
+                    "late_reply",
+                    mctx.step,
+                    mctx.node,
+                    attrs={"ticket": str(ticket)},
+                )
             return
         inv, record = entry
         resolved_now = record.deliver(ticket, payload)
         if resolved_now and record.is_choice:
             if record.value is None:
                 st.stats.choice_exhausted += 1
+                if tel is not None:
+                    tel.emit(
+                        4,
+                        "choice_exhausted",
+                        mctx.step,
+                        mctx.node,
+                        attrs={"inv": inv.inv_id},
+                    )
             else:
                 st.stats.choice_wins += 1
+                if tel is not None:
+                    tel.emit(
+                        4,
+                        "choice_win",
+                        mctx.step,
+                        mctx.node,
+                        attrs={"inv": inv.inv_id, "ticket": str(ticket)},
+                    )
                 # losing evaluations are no longer needed
                 for t in record.outstanding():
                     st.pending.pop(t, None)
@@ -182,6 +224,11 @@ class RecursionEngine:
         resume_value: Any = None,
     ) -> None:
         """Drive ``inv``'s generator until it suspends or finishes."""
+        tel = self._telemetry
+        if tel is not None:
+            # keep the layer-5 probe clock pointed at the node whose
+            # generator is about to run (generators have no ctx handle)
+            set_probe_node(mctx.node)
         to_send: Any = None if first else resume_value
         gen = inv.gen
         while True:
@@ -203,6 +250,14 @@ class RecursionEngine:
                     st.stats.calls_made += 1
                 inv.batch.append(record)
                 st.stats.choice_groups += 1
+                if tel is not None:
+                    tel.emit(
+                        4,
+                        "choice",
+                        mctx.step,
+                        mctx.node,
+                        attrs={"inv": inv.inv_id, "calls": len(op.calls)},
+                    )
                 to_send = tuple(record.tickets)
             elif isinstance(op, Sync):
                 st.stats.syncs += 1
@@ -211,6 +266,17 @@ class RecursionEngine:
                     inv.batch = []
                     continue
                 inv.waiting_sync = True
+                if tel is not None:
+                    tel.emit(
+                        4,
+                        "sync",
+                        mctx.step,
+                        mctx.node,
+                        attrs={
+                            "inv": inv.inv_id,
+                            "pending": len(inv.outstanding_tickets()),
+                        },
+                    )
                 return
             elif isinstance(op, Result):
                 self._finish(mctx, st, inv, op.value)
@@ -229,6 +295,15 @@ class RecursionEngine:
         st.pending[ticket] = (inv, record)
         inv.batch.append(record)
         st.stats.calls_made += 1
+        tel = self._telemetry
+        if tel is not None:
+            tel.emit(
+                4,
+                "call",
+                mctx.step,
+                mctx.node,
+                attrs={"inv": inv.inv_id, "ticket": str(ticket)},
+            )
         return ticket
 
     def _finish(
@@ -245,6 +320,19 @@ class RecursionEngine:
         st.invocations.pop(inv.inv_id, None)
         if inv.reply is not None:
             st.by_reply_ticket.pop(inv.reply.ticket, None)
+        tel = self._telemetry
+        if tel is not None:
+            step = mctx.step
+            start = inv.start_step if inv.start_step >= 0 else step
+            tel.emit(
+                4,
+                "invocation",
+                start,
+                mctx.node,
+                dur=max(step - start, 0),
+                attrs={"inv": inv.inv_id},
+            )
+            tel.emit(4, "result", step, mctx.node, attrs={"inv": inv.inv_id})
         mctx.reply(inv.reply, value)
 
     def _cancel_invocation(
@@ -257,6 +345,15 @@ class RecursionEngine:
             st.stats.cancels_sent += 1
         st.invocations.pop(inv.inv_id, None)
         inv.gen.close()
+        tel = self._telemetry
+        if tel is not None:
+            tel.emit(
+                4,
+                "cancelled",
+                mctx.step,
+                mctx.node,
+                attrs={"inv": inv.inv_id},
+            )
 
     # -- inspection ---------------------------------------------------------
 

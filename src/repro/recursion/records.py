@@ -83,6 +83,7 @@ class Invocation:
         "waiting_sync",
         "done",
         "cancelled",
+        "start_step",
     )
 
     def __init__(
@@ -90,6 +91,7 @@ class Invocation:
         inv_id: int,
         gen: Generator[Any, Any, Any],
         reply: Optional[ReplyHandle],
+        start_step: int = -1,
     ) -> None:
         self.inv_id = inv_id
         self.gen = gen
@@ -100,6 +102,9 @@ class Invocation:
         self.waiting_sync = False
         self.done = False
         self.cancelled = False
+        #: simulation step the invocation started on (-1 = unknown); the
+        #: telemetry layer turns (start_step, finish step) into a span
+        self.start_step = start_step
 
     def batch_resolved(self) -> bool:
         """True if every record in the current batch has a value."""

@@ -21,13 +21,16 @@ stack uses; finite budgets exercise genuinely interleaved schedules.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulingError
 from ..netsim import NodeContext
 from ..topology import NodeId
 from .policies import SchedulingPolicy
 from .process import Address, Process, ProcessContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..telemetry import TelemetryBus
 
 __all__ = ["SchedulerProgram", "Packet"]
 
@@ -57,6 +60,7 @@ class _NodeSched:
         "budget_used",
         "arrival_seq",
         "poll_pending",
+        "last_pid",
     )
 
     def __init__(self, proc_ctxs: List[ProcessContext], policy: SchedulingPolicy):
@@ -69,6 +73,9 @@ class _NodeSched:
         self.budget_used = 0
         self.arrival_seq = 0
         self.poll_pending = False
+        #: pid that ran most recently on this node (-1 = none yet); only
+        #: consulted when telemetry is on, to spot context switches
+        self.last_pid = -1
 
 
 class SchedulerProgram:
@@ -86,6 +93,10 @@ class SchedulerProgram:
     budget:
         Max messages a node may process per step, or ``None`` for unlimited
         (run-to-completion, the default).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryBus`; when given, the
+        scheduler publishes layer-2 ``context_switch`` events, a per-drain
+        ``run_queue`` depth counter and ``budget_exhausted`` markers.
     """
 
     def __init__(
@@ -93,6 +104,7 @@ class SchedulerProgram:
         processes: Sequence[Process],
         policy_factory: Optional[Callable[[], SchedulingPolicy]] = None,
         budget: Optional[int] = None,
+        telemetry: Optional["TelemetryBus"] = None,
     ) -> None:
         if not processes:
             raise SchedulingError("scheduler needs at least one process template")
@@ -105,6 +117,7 @@ class SchedulerProgram:
             policy_factory = RoundRobinPolicy
         self._policy_factory = policy_factory
         self._budget = budget
+        self._telemetry = telemetry
 
     # -- layer-1 NodeProgram interface ----------------------------------
 
@@ -180,20 +193,46 @@ class SchedulerProgram:
 
     def _drain(self, ctx: NodeContext, sched: _NodeSched) -> None:
         step = ctx.step
+        tel = self._telemetry
         if sched.budget_step != step:
             sched.budget_step = step
             sched.budget_used = 0
+        if tel is not None:
+            tel.emit(
+                2,
+                "run_queue",
+                step,
+                ctx.node,
+                attrs={"value": sum(len(q) for q in sched.queues.values())},
+            )
         while True:
             runnable = self._runnable(sched)
             if not runnable:
                 return
             if self._budget is not None and sched.budget_used >= self._budget:
                 # Out of budget: finish remaining work on a later step.
+                if tel is not None:
+                    tel.emit(
+                        2,
+                        "budget_exhausted",
+                        step,
+                        ctx.node,
+                        attrs={"pending": sum(len(q) for q in sched.queues.values())},
+                    )
                 self._schedule_poll(ctx, sched)
                 return
             pid = sched.policy.select(runnable)
             sender, payload, _seq = sched.queues[pid].popleft()
             sched.budget_used += 1
+            if tel is not None and pid != sched.last_pid:
+                tel.emit(
+                    2,
+                    "context_switch",
+                    step,
+                    ctx.node,
+                    attrs={"from_pid": sched.last_pid, "to_pid": pid},
+                )
+                sched.last_pid = pid
             self._templates[pid].on_message(sched.proc_ctxs[pid], sender, payload)
 
     # -- inspection helpers ----------------------------------------------

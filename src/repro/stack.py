@@ -40,6 +40,8 @@ from .mapping import (
 from .netsim import Machine, SimulationReport, TraceRecorder
 from .recursion import EngineStats, RecursionEngine, RecursiveFunction
 from .sched import SchedulerProgram
+from .telemetry import TelemetryBus
+from .telemetry.probe import install_probes, uninstall_probes
 from .topology import NodeId, Topology
 
 __all__ = ["HyperspaceStack", "StackRun"]
@@ -119,6 +121,12 @@ class HyperspaceStack:
         Optional layer-1 per-link latency: an int or ``f(src, dst) -> int``
         — e.g. :func:`repro.topology.embedding_latency` to run this
         topology virtualised on a host machine.
+    telemetry:
+        Cross-layer observability: ``None`` (default, zero overhead), an
+        existing :class:`~repro.telemetry.TelemetryBus`, or ``True`` to
+        create a fresh bus.  The bus is threaded through every layer and
+        exposed as :attr:`telemetry`; layer-5 probes are installed for the
+        duration of each run.
     """
 
     def __init__(
@@ -138,6 +146,7 @@ class HyperspaceStack:
         record_queue_depths: bool = False,
         size_fn=None,
         latency=0,
+        telemetry: Union[None, bool, TelemetryBus] = None,
     ) -> None:
         self.topology = topology
         self.mapper_factory: MapperFactory = (
@@ -160,6 +169,12 @@ class HyperspaceStack:
         self.record_queue_depths = record_queue_depths
         self.size_fn = size_fn
         self.latency = latency
+        if telemetry is True:
+            telemetry = TelemetryBus()
+        elif telemetry is False:
+            telemetry = None
+        #: the cross-layer event bus, or None when observability is off
+        self.telemetry: Optional[TelemetryBus] = telemetry
         #: populated by the most recent run_* call
         self.last_run: Optional[StackRun] = None
 
@@ -180,8 +195,11 @@ class HyperspaceStack:
             halt_on_result=halt_on_result,
             share_threshold=self.share_threshold,
             load_fn=load_fn if self.share_threshold is not None else None,
+            telemetry=self.telemetry,
         )
-        scheduler = SchedulerProgram([service], budget=self.scheduler_budget)
+        scheduler = SchedulerProgram(
+            [service], budget=self.scheduler_budget, telemetry=self.telemetry
+        )
         trace = TraceRecorder(
             self.topology.n_nodes, record_queue_depths=self.record_queue_depths
         )
@@ -194,6 +212,7 @@ class HyperspaceStack:
             seed=self.seed,
             size_fn=self.size_fn,
             latency=self.latency,
+            telemetry=self.telemetry,
         )
         return machine, scheduler, service
 
@@ -245,7 +264,9 @@ class HyperspaceStack:
         producing the root result raises :class:`SimulationError`; pass
         ``strict=False`` to get ``(None, report)`` instead.
         """
-        engine = RecursionEngine(fn, cancellation=self.cancellation)
+        engine = RecursionEngine(
+            fn, cancellation=self.cancellation, telemetry=self.telemetry
+        )
         from .mapping import queue_depth_load
 
         load_fn = (
@@ -257,7 +278,15 @@ class HyperspaceStack:
             engine, halt_on_result=halt_on_result, load_fn=load_fn
         )
         machine.inject(trigger_node, args)
-        report = machine.run(max_steps=max_steps)
+        bus = self.telemetry
+        if bus is not None:
+            install_probes(bus, step_fn=lambda: machine.current_step)
+            try:
+                report = machine.run(max_steps=max_steps)
+            finally:
+                uninstall_probes()
+        else:
+            report = machine.run(max_steps=max_steps)
         run = self._collect(machine, scheduler, trigger_node, engine)
         if strict and not run.results:
             raise SimulationError(

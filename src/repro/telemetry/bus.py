@@ -1,0 +1,108 @@
+"""The structured event bus every layer publishes to.
+
+Design constraints (in priority order):
+
+1. **Zero overhead when disabled.**  Components hold ``telemetry=None`` by
+   default and guard every emission site with a single
+   ``if self._telemetry is not None`` — no bus, no event objects, no calls.
+   The layer-1 fast send path (see ``repro/netsim/backend.py``) stays the
+   PR-1 optimized code with exactly one extra local ``is None`` test.
+2. **Cheap when enabled.**  ``emit`` allocates one
+   :class:`~repro.telemetry.events.TelemetryEvent` and calls each
+   subscriber's handler directly (bound methods are cached at subscribe
+   time, no per-event dispatch logic).
+3. **Deterministic.**  Subscribers are invoked in subscription order,
+   synchronously, on the simulation thread; the event stream is a pure
+   function of the run (same seed => same events), which is what lets the
+   exporter golden tests pin byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .events import TelemetryEvent
+
+__all__ = ["TelemetryBus", "Subscriber"]
+
+#: A subscriber: any callable taking one event, or an object with
+#: ``on_event(event)`` (the bound method is extracted at subscribe time).
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class TelemetryBus:
+    """Synchronous publish/subscribe hub for :class:`TelemetryEvent`.
+
+    Typical assembly::
+
+        bus = TelemetryBus()
+        log = bus.attach(EventLog())
+        exporter = bus.attach(ChromeTraceExporter())
+        stack = HyperspaceStack(topology, telemetry=bus)
+    """
+
+    __slots__ = ("_subscribers", "_handlers", "events_emitted")
+
+    def __init__(self) -> None:
+        #: attached subscriber objects/callables, in subscription order
+        self._subscribers: List[Any] = []
+        #: resolved per-event handlers (parallel to ``_subscribers``)
+        self._handlers: List[Subscriber] = []
+        #: total events published (cheap health/overhead indicator)
+        self.events_emitted = 0
+
+    # -- subscription ---------------------------------------------------
+
+    def attach(self, subscriber: Any) -> Any:
+        """Subscribe and return ``subscriber`` (chains into assignments).
+
+        ``subscriber`` is either a callable of one event or an object
+        exposing ``on_event(event)``.
+        """
+        handler = getattr(subscriber, "on_event", None)
+        if handler is None:
+            if not callable(subscriber):
+                raise TypeError(
+                    f"subscriber {subscriber!r} is neither callable nor has on_event"
+                )
+            handler = subscriber
+        self._subscribers.append(subscriber)
+        self._handlers.append(handler)
+        return subscriber
+
+    def detach(self, subscriber: Any) -> None:
+        """Remove a previously attached subscriber (no-op if absent)."""
+        try:
+            i = self._subscribers.index(subscriber)
+        except ValueError:
+            return
+        del self._subscribers[i]
+        del self._handlers[i]
+
+    @property
+    def subscribers(self) -> List[Any]:
+        """Attached subscribers (subscription order, read-only copy)."""
+        return list(self._subscribers)
+
+    # -- publishing -----------------------------------------------------
+
+    def emit(
+        self,
+        layer: int,
+        name: str,
+        step: int,
+        node: int = -1,
+        dur: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Publish one event to every subscriber, in subscription order."""
+        ev = TelemetryEvent(step, layer, name, node, dur, attrs)
+        self.events_emitted += 1
+        for handler in self._handlers:
+            handler(ev)
+
+    def emit_event(self, event: TelemetryEvent) -> None:
+        """Publish a pre-built event (relays, adapters)."""
+        self.events_emitted += 1
+        for handler in self._handlers:
+            handler(event)

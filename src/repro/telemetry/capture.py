@@ -1,0 +1,229 @@
+"""Packaged traced workloads (the ``repro trace`` CLI and bench wiring).
+
+:func:`capture_workload` runs one named workload with a fully wired
+telemetry pipeline — bus + Chrome-trace exporter + metrics — and writes the
+artifacts; :func:`capture_sat_trace` does the same for a single SAT sweep
+cell (used by the figure benches and ``record_baseline.py --trace``).
+
+Workload names accept either a registry key (``sat``, ``sumrec``, ``fib``,
+``nqueens``, ``traversal``) or a path to one of the repository's example
+scripts (``examples/sat_solver.py``) — the basename is mapped to the
+workload the script demonstrates, so ``repro trace examples/<any>.py``
+always produces a representative trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from .bus import TelemetryBus
+from .export import ChromeTraceExporter, write_metrics
+from .metrics import MetricsSubscriber
+
+__all__ = ["WORKLOADS", "capture_workload", "capture_sat_trace"]
+
+
+def _run_sat(bus: TelemetryBus, topology, seed: int) -> Dict[str, Any]:
+    from ..apps.sat import solve_on_machine, uf20_91_suite
+
+    cnf = uf20_91_suite(1, seed=seed)[0]
+    res = solve_on_machine(
+        cnf, topology, mapper="lbn", status=16, seed=seed, telemetry=bus
+    )
+    return {
+        "satisfiable": res.satisfiable,
+        "verified": res.verified,
+        "computation_time": res.report.computation_time,
+        "sent": res.report.sent_total,
+    }
+
+
+def _stack_workload(fn_path: str, args: Any, mapper: str = "rr"):
+    def run(bus: TelemetryBus, topology, seed: int) -> Dict[str, Any]:
+        import importlib
+
+        from ..stack import HyperspaceStack
+
+        module_name, fn_name = fn_path.rsplit(".", 1)
+        fn = getattr(importlib.import_module(module_name), fn_name)
+        stack = HyperspaceStack(topology, mapper=mapper, seed=seed, telemetry=bus)
+        result, report = stack.run_recursive(fn, args)
+        return {
+            "result": repr(result),
+            "computation_time": report.computation_time,
+            "sent": report.sent_total,
+        }
+
+    return run
+
+
+def _run_nqueens(bus: TelemetryBus, topology, seed: int) -> Dict[str, Any]:
+    from ..apps.nqueens import QueensProblem, nqueens
+    from ..stack import HyperspaceStack
+
+    stack = HyperspaceStack(topology, mapper="lbn", seed=seed, telemetry=bus)
+    placement, report = stack.run_recursive(nqueens, QueensProblem(6))
+    return {
+        "result": repr(placement),
+        "computation_time": report.computation_time,
+        "sent": report.sent_total,
+    }
+
+
+def _run_traversal(bus: TelemetryBus, topology, seed: int) -> Dict[str, Any]:
+    from ..netsim import EMPTY_MSG, Machine
+    from ..apps.traversal import traversal_program
+
+    machine = Machine(topology, traversal_program(), telemetry=bus)
+    machine.inject(0, EMPTY_MSG)
+    report = machine.run()
+    return {
+        "computation_time": report.computation_time,
+        "sent": report.sent_total,
+    }
+
+
+#: name -> (description, default topology spec, runner)
+WORKLOADS: Dict[str, Tuple[str, str, Callable]] = {
+    "sat": (
+        "distributed DPLL on one uf20-91 instance (all 5 layers + probes)",
+        "torus2d:14x14",
+        _run_sat,
+    ),
+    "sumrec": (
+        "the paper's Listing-3 recursive sum (layers 1-4)",
+        "torus2d:8x8",
+        _stack_workload("repro.apps.sumrec.calculate_sum", 60),
+    ),
+    "fib": (
+        "fork-join Fibonacci (layers 1-4, fixed fan-out)",
+        "torus2d:8x8",
+        _stack_workload("repro.apps.fib.fib", 13),
+    ),
+    "nqueens": (
+        "6-queens via non-deterministic choice (layers 1-4)",
+        "torus2d:8x8",
+        _run_nqueens,
+    ),
+    "traversal": (
+        "Listing-1 mesh flood fill (layer 1 only)",
+        "torus2d:20x20",
+        _run_traversal,
+    ),
+}
+
+#: example script basename -> workload key (``repro trace examples/<any>.py``)
+_EXAMPLE_ALIASES: Dict[str, str] = {
+    "quickstart": "sumrec",
+    "layers_tour": "sumrec",
+    "sat_solver": "sat",
+    "scalability_sweep": "sat",
+    "unfolding_heatmap": "sat",
+    "combinatorial_zoo": "nqueens",
+    "nqueens_mesh": "nqueens",
+    "topology_playground": "traversal",
+}
+
+def resolve_workload(name: str) -> str:
+    """Map a workload name or ``examples/`` path to a registry key."""
+    if name in WORKLOADS:
+        return name
+    stem = Path(name).stem
+    if stem in WORKLOADS:
+        return stem
+    alias = _EXAMPLE_ALIASES.get(stem)
+    if alias is not None:
+        return alias
+    known = ", ".join(sorted(WORKLOADS))
+    raise ValueError(f"unknown trace workload {name!r} (known: {known})")
+
+
+def capture_workload(
+    workload: str,
+    out: Union[str, Path],
+    *,
+    metrics_path: Optional[Union[str, Path]] = None,
+    topology: Optional[str] = None,
+    seed: int = 2017,
+) -> Dict[str, Any]:
+    """Run ``workload`` traced; write the Perfetto trace (and metrics).
+
+    Returns a summary dict: the workload result plus event/layer counts and
+    the artifact paths.
+    """
+    from ..topology import topology_from_spec
+
+    key = resolve_workload(workload)
+    description, default_topo, runner = WORKLOADS[key]
+    topo = topology_from_spec(topology or default_topo)
+
+    bus = TelemetryBus()
+    exporter = bus.attach(ChromeTraceExporter())
+    metrics = bus.attach(MetricsSubscriber())
+    result = runner(bus, topo, seed)
+
+    trace_path = exporter.write(out)
+    summary: Dict[str, Any] = {
+        "workload": key,
+        "description": description,
+        "topology": topo.describe(),
+        "seed": seed,
+        "result": result,
+        "events": len(exporter),
+        "layers": exporter.layers(),
+        "trace_path": str(trace_path),
+    }
+    if metrics_path is not None:
+        summary["metrics_path"] = str(write_metrics(metrics.registry, metrics_path))
+    return summary
+
+
+def capture_sat_trace(
+    cnf,
+    topology,
+    out: Union[str, Path],
+    *,
+    mapper: str = "lbn",
+    status: Optional[int] = 16,
+    heuristic: str = "max_occurrence",
+    simplify: str = "none",
+    seed: int = 2017,
+    max_steps: int = 2_000_000,
+    metrics_path: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Trace one SAT sweep cell (the figure benches' representative run).
+
+    Runs :func:`repro.apps.sat.solve_on_machine` with a fresh telemetry
+    pipeline and writes the Chrome trace — the profiling lens of the
+    paper's §V-C, per event instead of per aggregate.
+    """
+    from ..apps.sat import solve_on_machine
+
+    bus = TelemetryBus()
+    exporter = bus.attach(ChromeTraceExporter())
+    metrics = bus.attach(MetricsSubscriber())
+    res = solve_on_machine(
+        cnf,
+        topology,
+        mapper=mapper,
+        status=status,
+        heuristic=heuristic,
+        simplify=simplify,
+        seed=seed,
+        max_steps=max_steps,
+        telemetry=bus,
+    )
+    trace_path = exporter.write(out)
+    summary: Dict[str, Any] = {
+        "topology": topology.describe(),
+        "mapper": mapper,
+        "satisfiable": res.satisfiable,
+        "computation_time": res.report.computation_time,
+        "events": len(exporter),
+        "layers": exporter.layers(),
+        "trace_path": str(trace_path),
+    }
+    if metrics_path is not None:
+        summary["metrics_path"] = str(write_metrics(metrics.registry, metrics_path))
+    return summary

@@ -1,0 +1,138 @@
+"""Structured telemetry events and the cross-layer event taxonomy.
+
+Every layer of the stack publishes :class:`TelemetryEvent` values to a
+:class:`~repro.telemetry.bus.TelemetryBus`.  An event is deliberately tiny —
+five slots, no inheritance — because a traced simulation can emit one event
+per message send *and* per delivery; the whole pipeline is built so that a
+simulation with **no** bus attached pays exactly one ``is None`` check per
+potential event (see ``docs/observability.md`` for measured overhead).
+
+Taxonomy (the full per-layer list lives in ``docs/observability.md``):
+
+=====  ==========  =====================================================
+layer  constant    representative events
+=====  ==========  =====================================================
+1      L1_NETSIM   ``send``, ``deliver``, ``drop``, ``queued`` (counter)
+2      L2_SCHED    ``context_switch``, ``run_queue`` (counter),
+                   ``budget_exhausted``
+3      L3_MAPPING  ``ticket_issue``, ``ticket_claim``, ``ticket_forward``,
+                   ``reply_sent``, ``reply_delivered``, ``cancel_sent``,
+                   ``status_broadcast``
+4      L4_RECUR    ``invocation`` (span), ``call``, ``sync``, ``result``,
+                   ``choice_win``, ``choice_exhausted``, ``cancelled``,
+                   ``late_reply``
+5      L5_APP      application probes, e.g. ``dpll.branch`` /
+                   ``dpll.backtrack``
+=====  ==========  =====================================================
+
+Conventions:
+
+* ``step`` is the simulation time step the event belongs to (the clock of
+  every exporter); for *span* events it is the **start** step.
+* ``node`` is the simulated node the event happened on, or ``-1`` for
+  machine-wide events (e.g. the per-step ``queued`` counter).
+* ``dur`` is ``None`` for instant events and a step count (>= 0) for spans.
+* counter-style events carry a numeric ``value`` key in ``attrs``; the
+  Chrome exporter renders them as counter tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "TelemetryEvent",
+    "L1_NETSIM",
+    "L2_SCHED",
+    "L3_MAPPING",
+    "L4_RECURSION",
+    "L5_APP",
+    "LAYER_NAMES",
+]
+
+#: layer identifiers (match the paper's Figure 2 numbering)
+L1_NETSIM = 1
+L2_SCHED = 2
+L3_MAPPING = 3
+L4_RECURSION = 4
+L5_APP = 5
+
+#: human-readable layer titles (used by exporters as track/process names)
+LAYER_NAMES: Dict[int, str] = {
+    L1_NETSIM: "layer 1 - netsim",
+    L2_SCHED: "layer 2 - sched",
+    L3_MAPPING: "layer 3 - mapping",
+    L4_RECURSION: "layer 4 - recursion",
+    L5_APP: "layer 5 - app",
+}
+
+
+class TelemetryEvent:
+    """One structured observation published on the bus.
+
+    Attributes
+    ----------
+    step:
+        Simulation step (start step for spans; ``-1`` = before step 0).
+    layer:
+        Publishing layer, 1..5 (see the module constants).
+    name:
+        Event name within the layer's taxonomy.
+    node:
+        Simulated node id, or ``-1`` for machine-wide events.
+    dur:
+        ``None`` for instant events; duration in steps for spans.
+    attrs:
+        Optional payload dict (kept ``None`` when empty to avoid
+        allocating a dict per hot-path event).
+    """
+
+    __slots__ = ("step", "layer", "name", "node", "dur", "attrs")
+
+    def __init__(
+        self,
+        step: int,
+        layer: int,
+        name: str,
+        node: int = -1,
+        dur: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.step = step
+        self.layer = layer
+        self.name = name
+        self.node = node
+        self.dur = dur
+        self.attrs = attrs
+
+    @property
+    def is_span(self) -> bool:
+        """True for duration (span) events."""
+        return self.dur is not None
+
+    @property
+    def is_counter(self) -> bool:
+        """True for counter-style events (numeric ``value`` attribute)."""
+        return self.attrs is not None and "value" in self.attrs
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (used by JSON dumps and tests)."""
+        d: Dict[str, Any] = {
+            "step": self.step,
+            "layer": self.layer,
+            "name": self.name,
+            "node": self.node,
+        }
+        if self.dur is not None:
+            d["dur"] = self.dur
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f" dur={self.dur}" if self.dur is not None else ""
+        attrs = f" {self.attrs!r}" if self.attrs else ""
+        return (
+            f"TelemetryEvent(t={self.step} L{self.layer} {self.name} "
+            f"node={self.node}{span}{attrs})"
+        )

@@ -1,0 +1,177 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and metrics dumps.
+
+:class:`ChromeTraceExporter` is a bus subscriber producing the Trace Event
+Format consumed by ``chrome://tracing`` and https://ui.perfetto.dev — drop
+the written file onto either UI.  Mapping conventions:
+
+* **clock** — one simulation step = one microsecond of trace time (``ts``);
+  wall time is meaningless inside the simulator, steps are the ground truth;
+* **process** (``pid``) — the stack layer (1..5), named via metadata
+  events, so Perfetto groups tracks by layer;
+* **thread** (``tid``) — the simulated node id (machine-wide events use
+  tid 0 of the layer's process);
+* instant events -> phase ``"i"``, span events -> complete events (``"X"``)
+  with ``dur`` in steps, counter-style events (a numeric ``value`` attr) ->
+  counter tracks (``"C"``).
+
+Metrics writers (:func:`write_metrics_json` / :func:`write_metrics_csv`)
+dump a :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .events import LAYER_NAMES, TelemetryEvent
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "ChromeTraceExporter",
+    "write_metrics_json",
+    "write_metrics_csv",
+    "write_metrics",
+]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce an attr value to something ``json.dump`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+class ChromeTraceExporter:
+    """Accumulate bus events; serialise as Chrome trace-event JSON."""
+
+    __slots__ = ("_events", "_layers_seen")
+
+    def __init__(self) -> None:
+        self._events: List[TelemetryEvent] = []
+        self._layers_seen: set = set()
+
+    # -- bus subscriber interface --------------------------------------
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        self._events.append(event)
+        self._layers_seen.add(event.layer)
+
+    # -- serialisation --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def layers(self) -> List[int]:
+        """Layers that contributed at least one event, ascending."""
+        return sorted(self._layers_seen)
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The trace as a JSON-ready dict (Trace Event Format, object form)."""
+        trace_events: List[Dict[str, Any]] = []
+        # metadata: name each layer's process and pin the display order
+        for layer in self.layers():
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": layer,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": LAYER_NAMES.get(layer, f"layer {layer}")},
+                }
+            )
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": layer,
+                    "tid": 0,
+                    "name": "process_sort_index",
+                    "args": {"sort_index": layer},
+                }
+            )
+        for ev in self._events:
+            # steps can be -1 (init-time / external injection); clamp so the
+            # trace clock starts at 0 as the viewers expect
+            ts = ev.step if ev.step >= 0 else 0
+            tid = ev.node if ev.node >= 0 else 0
+            entry: Dict[str, Any] = {
+                "name": ev.name,
+                "pid": ev.layer,
+                "tid": tid,
+                "ts": ts,
+                "cat": LAYER_NAMES.get(ev.layer, f"layer{ev.layer}"),
+            }
+            attrs = ev.attrs
+            if ev.dur is not None:
+                entry["ph"] = "X"
+                entry["dur"] = ev.dur
+            elif attrs is not None and isinstance(
+                attrs.get("value"), (int, float)
+            ):
+                entry["ph"] = "C"
+            else:
+                entry["ph"] = "i"
+                entry["s"] = "t"
+            if attrs:
+                entry["args"] = {k: _json_safe(v) for k, v in attrs.items()}
+            trace_events.append(entry)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "1 simulation step = 1us",
+                "generator": "repro.telemetry",
+            },
+        }
+
+    def write(self, path: Union[str, Path], indent: Optional[int] = None) -> Path:
+        """Write the trace JSON to ``path``; returns the resolved path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=indent)
+            fh.write("\n")
+        return path
+
+
+def write_metrics_json(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Dump a metrics snapshot as JSON; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(registry.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def write_metrics_csv(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Dump a metrics snapshot as CSV (``name,kind,field,value`` rows)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["name", "kind", "field", "value"])
+        for name, payload in registry.as_dict().items():
+            kind = payload["kind"]
+            for field, value in payload.items():
+                if field == "kind":
+                    continue
+                if isinstance(value, dict):
+                    for sub, v in value.items():
+                        writer.writerow([name, kind, f"{field}.{sub}", v])
+                else:
+                    writer.writerow([name, kind, field, value])
+    return path
+
+
+def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Dump metrics as JSON or CSV based on the path suffix."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        return write_metrics_csv(registry, path)
+    return write_metrics_json(registry, path)

@@ -1,0 +1,200 @@
+"""Typed metrics (counters / gauges / histograms) over the event bus.
+
+:class:`MetricsRegistry` is the standalone container — any component may
+create and update metrics directly.  :class:`MetricsSubscriber` derives a
+standard set of metrics *from the event stream*, so attaching it to a
+:class:`~repro.telemetry.bus.TelemetryBus` yields per-layer counters, span
+histograms and counter-track gauges with no per-layer code:
+
+* every event increments the counter ``l{layer}.{name}``;
+* span events (``dur`` set) feed the histogram ``l{layer}.{name}.steps``;
+* counter-style events (``value`` attr) update the gauge
+  ``l{layer}.{name}`` (last value + peak).
+
+Dumps: :meth:`MetricsRegistry.as_dict`, plus CSV/JSON writers in
+:mod:`repro.telemetry.export`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from .events import TelemetryEvent
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsSubscriber"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value plus observed extremes."""
+
+    __slots__ = ("name", "value", "peak", "low", "updates")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.peak = -math.inf
+        self.low = math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+        if value < self.low:
+            self.low = value
+        self.updates += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "value": self.value,
+            "peak": self.peak if self.updates else None,
+            "low": self.low if self.updates else None,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max + fixed buckets).
+
+    Buckets are cumulative powers of two over step durations — wide enough
+    for any simulation span while keeping the summary O(1) per observation.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "bucket_counts")
+
+    kind = "histogram"
+
+    #: upper bounds of the cumulative buckets (last bucket is +inf)
+    BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.bucket_counts = [0] * (len(self.BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": round(self.mean, 4),
+            "buckets": {
+                **{f"le_{b}": c for b, c in zip(self.BOUNDS, self.bucket_counts)},
+                "inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, dumped as one dict."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def _get(self, name: str, cls) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Any:
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """All metrics as ``{name: {kind, ...}}``, sorted by name."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+
+class MetricsSubscriber:
+    """Bus subscriber deriving the standard per-layer metrics.
+
+    Every event bumps ``l{layer}.{name}`` (counter); spans additionally
+    feed ``l{layer}.{name}.steps`` (histogram); counter-style events update
+    the gauge ``l{layer}.{name}.level``.
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        base = f"l{event.layer}.{event.name}"
+        self.registry.counter(base).inc()
+        if event.dur is not None:
+            self.registry.histogram(base + ".steps").observe(event.dur)
+        attrs = event.attrs
+        if attrs is not None:
+            value = attrs.get("value")
+            if value is not None:
+                self.registry.gauge(base + ".level").set(value)
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        return self.registry.as_dict()

@@ -1,0 +1,61 @@
+"""Packaged traced workloads and the ``repro trace`` CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import WORKLOADS, capture_workload
+
+
+class TestCaptureWorkload:
+    def test_sumrec_capture(self, tmp_path):
+        out = tmp_path / "trace.json"
+        summary = capture_workload("sumrec", out, topology="torus2d:5x5")
+        assert summary["workload"] == "sumrec"
+        assert summary["topology"] == "torus2d(5x5)"
+        assert summary["events"] > 0
+        assert summary["layers"] == [1, 2, 3, 4]
+        data = json.loads(out.read_text())
+        assert data["traceEvents"]
+
+    def test_metrics_dump(self, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        summary = capture_workload(
+            "traversal", tmp_path / "t.json", metrics_path=metrics
+        )
+        assert summary["layers"] == [1]
+        data = json.loads(metrics.read_text())
+        assert data["l1.send"]["value"] == summary["result"]["sent"]
+
+    def test_example_path_accepted(self, tmp_path):
+        summary = capture_workload(
+            "examples/quickstart.py", tmp_path / "q.json", topology="torus2d:4x4"
+        )
+        assert summary["workload"] == "sumrec"
+
+    def test_every_workload_has_description_and_topology(self):
+        for name, (description, topo_spec, runner) in WORKLOADS.items():
+            assert description and ":" in topo_spec and callable(runner)
+
+
+class TestTraceCli:
+    def test_trace_command(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.csv"
+        rc = main([
+            "trace", "sumrec",
+            "--out", str(out),
+            "--metrics", str(metrics),
+            "--topology", "torus2d:5x5",
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "perfetto" in stdout.lower()
+        assert out.exists() and metrics.exists()
+        assert metrics.read_text().startswith("name,kind,field,value")
+
+    def test_trace_command_unknown_workload(self, tmp_path, capsys):
+        rc = main(["trace", "bogus", "--out", str(tmp_path / "t.json")])
+        assert rc == 2
+        assert "unknown trace workload" in capsys.readouterr().err

@@ -1,0 +1,58 @@
+"""Figure benches must be bit-identical with and without trace capture.
+
+The ``trace_path`` hook re-runs one representative cell in-process *after*
+the sweep; these tests pin that it neither perturbs the published figure
+data nor produces an empty trace.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchPreset,
+    figure4_to_dict,
+    figure5_to_dict,
+    run_figure4,
+    run_figure5,
+)
+
+TINY4 = BenchPreset("tiny", 2, (9, 64))
+TINY5 = BenchPreset("tiny", 2, (196,))
+
+
+class TestFigure4TraceRegression:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        trace = tmp_path_factory.mktemp("fig4") / "trace.json"
+        plain = run_figure4(TINY4)
+        traced = run_figure4(TINY4, trace_path=str(trace))
+        return plain, traced, trace
+
+    def test_figure_data_identical(self, runs):
+        plain, traced, _ = runs
+        assert figure4_to_dict(plain) == figure4_to_dict(traced)
+
+    def test_trace_written_with_all_layers(self, runs):
+        _, traced, trace = runs
+        assert traced.trace_summary is not None
+        assert trace.exists()
+        data = json.loads(trace.read_text())
+        layers = {e["pid"] for e in data["traceEvents"] if e["ph"] != "M"}
+        assert layers >= {1, 2, 3, 4}
+
+    def test_plain_run_has_no_trace_summary(self, runs):
+        plain, _, _ = runs
+        assert plain.trace_summary is None
+
+
+class TestFigure5TraceRegression:
+    def test_figure_data_identical_and_trace_written(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        plain = run_figure5(TINY5)
+        traced = run_figure5(TINY5, trace_path=str(trace))
+        assert figure5_to_dict(plain) == figure5_to_dict(traced)
+        assert traced.trace_summary is not None
+        assert traced.trace_summary["events"] > 0
+        layers = traced.trace_summary["layers"]
+        assert set(layers) >= {1, 2, 3, 4}

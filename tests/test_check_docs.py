@@ -1,0 +1,94 @@
+"""The documentation checker that backs the CI docs job."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_TOOL = pathlib.Path(__file__).resolve().parents[1] / "tools" / "check_docs.py"
+_spec = importlib.util.spec_from_file_location("check_docs", _TOOL)
+check_docs = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_docs", check_docs)
+_spec.loader.exec_module(check_docs)
+
+
+class TestLinkExtraction:
+    def test_relative_links_found_with_line_numbers(self):
+        text = "intro\nsee [the docs](docs/x.md) and [a site](https://e.com)\n"
+        assert list(check_docs.iter_relative_links(text)) == [(2, "docs/x.md")]
+
+    def test_anchor_and_mailto_ignored(self):
+        text = "[a](#section) [b](mailto:x@y.z) [c](other.md#part)\n"
+        assert list(check_docs.iter_relative_links(text)) == [(1, "other.md")]
+
+    def test_links_inside_fences_ignored(self):
+        text = "```python\nx = '[not a](link.md)'\n```\n[real](a.md)\n"
+        assert list(check_docs.iter_relative_links(text)) == [(4, "a.md")]
+
+    def test_dead_link_reported(self, tmp_path):
+        md = tmp_path / "doc.md"
+        md.write_text("[gone](missing.md)\n")
+        (errors,) = check_docs.check_links(md)
+        assert "dead link" in errors and "missing.md" in errors
+
+    def test_existing_link_passes(self, tmp_path):
+        (tmp_path / "target.md").write_text("x\n")
+        md = tmp_path / "doc.md"
+        md.write_text("[there](target.md)\n")
+        assert check_docs.check_links(md) == []
+
+
+class TestFenceExtraction:
+    def test_python_fences_only(self):
+        text = (
+            "```bash\necho no\n```\n"
+            "```python\nx = 1\n```\n"
+            "```\nplain\n```\n"
+            "```python\ny = x + 1\n```\n"
+        )
+        fences = check_docs.extract_python_fences(text)
+        assert [src for _, src in fences] == ["x = 1", "y = x + 1"]
+
+    def test_doc_skip_marker_excludes_fence(self):
+        text = "```python\n# doc: skip — illustrative\nboom(\n```\n"
+        assert check_docs.extract_python_fences(text) == []
+
+    def test_fences_share_a_namespace(self, tmp_path):
+        md = tmp_path / "doc.md"
+        md.write_text(
+            "```python\nvalue = 2\n```\ntext\n```python\nassert value == 2\n```\n"
+        )
+        assert check_docs.run_fences(md, tmp_path) == []
+
+    def test_failing_fence_reported_with_location(self, tmp_path):
+        md = tmp_path / "doc.md"
+        md.write_text("ok\n\n```python\nraise ValueError('nope')\n```\n")
+        (error,) = check_docs.run_fences(md, tmp_path)
+        assert error.startswith("doc.md:4: fence failed")
+        assert "ValueError" in error
+
+    def test_fences_run_in_scratch_directory(self, tmp_path):
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        md = tmp_path / "doc.md"
+        md.write_text("```python\nopen('made.txt', 'w').write('x')\n```\n")
+        assert check_docs.run_fences(md, scratch) == []
+        assert (scratch / "made.txt").exists()
+
+
+class TestDriver:
+    def test_main_fails_on_missing_file(self, capsys):
+        rc = check_docs.main(["/nonexistent/doc.md"])
+        assert rc == 1
+
+    def test_main_ok_on_clean_file(self, tmp_path, capsys):
+        md = tmp_path / "doc.md"
+        md.write_text("hello\n```python\nassert 1 + 1 == 2\n```\n")
+        assert check_docs.main([str(md)]) == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_links_only_skips_fences(self, tmp_path):
+        md = tmp_path / "doc.md"
+        md.write_text("```python\nraise RuntimeError\n```\n")
+        assert check_docs.main(["--links-only", str(md)]) == 0

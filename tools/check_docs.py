@@ -1,0 +1,171 @@
+"""Documentation checker: dead relative links + executable code fences.
+
+Two independent checks over the repository's markdown:
+
+1. **Links** — every relative markdown link ``[text](path)`` must point at
+   a file or directory that exists (anchors and external ``http(s)``/
+   ``mailto`` targets are ignored).
+2. **Fences** — every ```` ```python ```` fence is executed.  Fences in one
+   file share a namespace and run top to bottom, so tutorial-style
+   documents may build on earlier snippets.  A fence whose first line
+   contains ``doc: skip`` is excluded (e.g. illustrative fragments).
+
+Fences run with the working directory set to a scratch directory, so
+snippets that write files cannot pollute the checkout.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/check_docs.py [FILES...]
+
+With no arguments it checks ``README.md`` and ``docs/*.md``.  Exit status
+is non-zero on any failure; CI runs this as the docs job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — good enough for the house markdown style; images
+#: (``![alt](...)``) match too, which is what we want.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def default_files() -> List[Path]:
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+# -- link checking ---------------------------------------------------------
+
+
+def iter_relative_links(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every local link in ``text``."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            yield lineno, target.split("#", 1)[0]
+
+
+def check_links(path: Path) -> List[str]:
+    errors = []
+    for lineno, target in iter_relative_links(path.read_text()):
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.name}:{lineno}: dead link -> {target}")
+    return errors
+
+
+# -- fence execution -------------------------------------------------------
+
+
+def extract_python_fences(text: str) -> List[Tuple[int, str]]:
+    """Return ``(start_line, source)`` for each runnable python fence."""
+    fences = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = _FENCE_RE.match(lines[i].strip())
+        if match and match.group(1) == "python":
+            start = i + 2  # first line inside the fence, 1-based
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                body.append(lines[i])
+                i += 1
+            source = "\n".join(body)
+            if "doc: skip" not in (body[0] if body else ""):
+                fences.append((start, source))
+        elif match:
+            # non-python fence: scan to its closing marker
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                i += 1
+        i += 1
+    return fences
+
+
+def run_fences(path: Path, scratch: Path) -> List[str]:
+    fences = extract_python_fences(path.read_text())
+    if not fences:
+        return []
+    namespace: dict = {"__name__": f"doc_{path.stem}"}
+    cwd = os.getcwd()
+    os.chdir(scratch)
+    try:
+        for start, source in fences:
+            try:
+                code = compile(source, f"{path.name}:{start}", "exec")
+                exec(code, namespace)
+            except Exception:
+                tb = traceback.format_exc(limit=3)
+                return [f"{path.name}:{start}: fence failed\n{tb}"]
+    finally:
+        os.chdir(cwd)
+    return []
+
+
+# -- driver ----------------------------------------------------------------
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path)
+    parser.add_argument(
+        "--links-only", action="store_true", help="skip fence execution"
+    )
+    args = parser.parse_args(argv)
+    files = [f.resolve() for f in args.files] or default_files()
+
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="check_docs_") as scratch:
+        for path in files:
+            if not path.exists():
+                failures.append(f"{path}: no such file")
+                continue
+            shown = (
+                path.relative_to(REPO_ROOT)
+                if path.is_relative_to(REPO_ROOT)
+                else path
+            )
+            link_errors = check_links(path)
+            failures.extend(link_errors)
+            if args.links_only:
+                status = "FAIL" if link_errors else "ok"
+                print(f"[{status}] {shown} (links)")
+                continue
+            fence_errors = run_fences(path, Path(scratch))
+            failures.extend(fence_errors)
+            n = len(extract_python_fences(path.read_text()))
+            status = "FAIL" if (link_errors or fence_errors) else "ok"
+            print(f"[{status}] {shown} ({n} fences)")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        print(f"\n{len(failures)} documentation failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
