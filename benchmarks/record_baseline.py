@@ -159,6 +159,59 @@ def measure_telemetry_overhead(repeats: int) -> dict:
     return out
 
 
+def measure_reliability_overhead(repeats: int) -> dict:
+    """Cost of the layer-1.5 reliable-delivery protocol on the storm load.
+
+    Three configurations:
+
+    * ``off`` — ``reliability=None``, the default: the send path keeps the
+      ``_fast_send`` binding and the step loop pays one ``is None`` check
+      (the opt-in contract — must track the plain storm rate);
+    * ``on_clean`` — protocol enabled over perfect links: every payload is
+      framed, acked and retired, no retransmissions;
+    * ``on_faulty`` — protocol enabled over ``drop=0.05, duplicate=0.02``
+      links (the chaos suite's acceptance rates): adds retransmission and
+      dedup work on top.
+    """
+    import random as _random
+
+    from repro.netsim import FaultModel
+    from repro.reliability import ReliabilityConfig
+
+    def med(fn):
+        vals = sorted(fn() for _ in range(repeats))
+        return round(vals[len(vals) // 2])
+
+    def storm_with(**kwargs):
+        m = Machine(Torus((20, 20)), _Storm(), **kwargs)
+        for n in range(400):
+            m.inject(n, EMPTY_MSG)
+        m.step()
+        t0 = time.perf_counter()
+        delivered = 0
+        for _ in range(400):
+            delivered += m.step()
+        return delivered / (time.perf_counter() - t0)
+
+    off = med(storm_with)
+    on_clean = med(lambda: storm_with(reliability=ReliabilityConfig()))
+    on_faulty = med(
+        lambda: storm_with(
+            faults=FaultModel(0.05, 0.02, rng=_random.Random(2017)),
+            reliability=ReliabilityConfig(),
+        )
+    )
+    return {
+        "unit": "deliveries per second",
+        "workload": "storm_torus400",
+        "off": off,
+        "on_clean": on_clean,
+        "on_faulty": on_faulty,
+        "on_clean_overhead_pct": round(100.0 * (1.0 - on_clean / off), 1),
+        "on_faulty_overhead_pct": round(100.0 * (1.0 - on_faulty / off), 1),
+    }
+
+
 # -- figure-4 sweep wall time ---------------------------------------------
 
 
@@ -219,6 +272,7 @@ def main(argv=None) -> int:
         },
         "microbenchmark": measure_micro(args.repeats),
         "telemetry_overhead": measure_telemetry_overhead(args.repeats),
+        "reliability_overhead": measure_reliability_overhead(args.repeats),
     }
     if args.compare:
         env = dict(os.environ)

@@ -56,6 +56,7 @@ __all__ = [
     "topology_from_spec",
     "HyperspaceStack",
     "Machine",
+    "ReliabilityConfig",
     "__version__",
 ]
 
@@ -69,4 +70,8 @@ def __getattr__(name):  # lazy imports to avoid import cycles at startup
         from .netsim import Machine
 
         return Machine
+    if name == "ReliabilityConfig":
+        from .reliability import ReliabilityConfig
+
+        return ReliabilityConfig
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -191,9 +191,11 @@ solve_sat = make_solve_sat()
 class DistributedSatResult:
     """Outcome of a distributed solve: verdict, model and profiling data."""
 
-    __slots__ = ("satisfiable", "assignment", "report", "engine_stats", "cnf")
+    __slots__ = ("satisfiable", "assignment", "report", "engine_stats", "cnf", "link_stats")
 
-    def __init__(self, cnf: CNF, raw_result: Any, report, engine_stats) -> None:
+    def __init__(
+        self, cnf: CNF, raw_result: Any, report, engine_stats, link_stats=None
+    ) -> None:
         self.cnf = cnf
         self.satisfiable = raw_result is not None
         self.assignment: Optional[Dict[int, bool]] = (
@@ -201,6 +203,8 @@ class DistributedSatResult:
         )
         self.report = report
         self.engine_stats = engine_stats
+        #: layer-1.5 protocol counters (reliable runs only, else None)
+        self.link_stats = link_stats
 
     @property
     def verified(self) -> bool:
@@ -232,6 +236,9 @@ def solve_on_machine(
     drain: bool = True,
     share_threshold: Optional[int] = None,
     size_fn=None,
+    drop: float = 0.0,
+    duplicate: float = 0.0,
+    reliable=False,
     telemetry=None,
 ) -> DistributedSatResult:
     """Solve one formula on a simulated machine; the one-call entry point.
@@ -255,6 +262,11 @@ def solve_on_machine(
     :class:`~repro.telemetry.TelemetryBus` (or ``True`` for a fresh one)
     to capture structured events from all five layers, including the
     solver's ``dpll.branch`` / ``dpll.backtrack`` probes.
+
+    ``drop`` / ``duplicate`` / ``reliable`` configure lossy links and the
+    layer-1.5 reliable-delivery protocol (``docs/robustness.md``); with
+    ``reliable`` the result's ``link_stats`` carries the protocol counters
+    (retransmits, suppressed duplicates, ...).
     """
     stack = HyperspaceStack(
         topology,
@@ -265,6 +277,9 @@ def solve_on_machine(
         record_queue_depths=record_queue_depths,
         share_threshold=share_threshold,
         size_fn=size_fn,
+        drop=drop,
+        duplicate=duplicate,
+        reliable=reliable,
         telemetry=telemetry,
     )
     fn = make_solve_sat(
@@ -278,4 +293,11 @@ def solve_on_machine(
         halt_on_result=not drain,
     )
     assert stack.last_run is not None
-    return DistributedSatResult(cnf, raw, report, stack.last_run.engine_stats)
+    rel = stack.last_run.machine.reliability
+    return DistributedSatResult(
+        cnf,
+        raw,
+        report,
+        stack.last_run.engine_stats,
+        link_stats=rel.stats if rel is not None else None,
+    )

@@ -42,6 +42,23 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--simplify", default="none", choices=["none", "single", "fixpoint"])
     solve.add_argument("--seed", type=int, default=2017)
     solve.add_argument("--quiet", action="store_true", help="verdict only")
+    solve.add_argument(
+        "--drop", type=float, default=0.0, metavar="P",
+        help="per-send link drop probability (default 0: reliable links)",
+    )
+    solve.add_argument(
+        "--dup", type=float, default=0.0, metavar="P",
+        help="per-send link duplication probability (default 0)",
+    )
+    solve.add_argument(
+        "--reliable", action="store_true",
+        help="enable the layer-1.5 reliable-delivery protocol "
+             "(sequence numbers + acks + retransmission; docs/robustness.md)",
+    )
+    solve.add_argument(
+        "--retry-limit", type=int, default=None, metavar="N",
+        help="retransmissions per frame before giving up (implies --reliable)",
+    )
 
     gen = sub.add_parser("generate", help="write random 3-SAT benchmark files")
     gen.add_argument("out_dir", help="output directory")
@@ -111,6 +128,11 @@ def _cmd_solve(args) -> int:
     else:
         cnf = uf20_91_suite(1, seed=args.seed)[0]
     topo = topology_from_spec(args.topology)
+    reliable = args.reliable or args.retry_limit is not None
+    if args.retry_limit is not None:
+        from .reliability import ReliabilityConfig
+
+        reliable = ReliabilityConfig(retry_limit=args.retry_limit)
     res = solve_on_machine(
         cnf,
         topo,
@@ -119,6 +141,9 @@ def _cmd_solve(args) -> int:
         heuristic=args.heuristic,
         simplify=args.simplify,
         seed=args.seed,
+        drop=args.drop,
+        duplicate=args.dup,
+        reliable=reliable,
     )
     seq = dpll_solve(cnf)
     if res.satisfiable != seq.satisfiable:
@@ -133,6 +158,16 @@ def _cmd_solve(args) -> int:
     if not args.quiet:
         rep = res.report
         print(f"c machine            {topo.describe()} ({args.mapper})")
+        if args.drop or args.dup:
+            guard = "reliable delivery on" if reliable else "UNPROTECTED"
+            print(f"c link faults        drop={args.drop} dup={args.dup} ({guard})")
+        if res.link_stats is not None:
+            ls = res.link_stats
+            print(
+                f"c reliability        {ls.retransmits} retransmits, "
+                f"{ls.dups_suppressed} dups suppressed, "
+                f"{ls.frames_lost} frames lost, {ls.exhausted} exhausted"
+            )
         print(f"c computation time   {rep.computation_time} steps")
         print(f"c messages           {rep.sent_total}")
         print(f"c peak queued        {rep.peak_queued}")

@@ -28,6 +28,10 @@ class QueueOverflowError(SimulationError):
     """Layer 1: a finite-capacity inbox overflowed."""
 
 
+class ReliabilityError(SimulationError):
+    """Layer 1.5: reliable-delivery misconfiguration or retry-cap exhaustion."""
+
+
 class SchedulingError(ReproError):
     """Layer 2: process registration or delivery failure."""
 

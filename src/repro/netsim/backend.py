@@ -28,6 +28,7 @@ from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..reliability import ReliabilityConfig, ReliableDelivery
     from ..telemetry import TelemetryBus
 
 from ..errors import AdjacencyError, SimulationError
@@ -69,6 +70,14 @@ class Machine:
         baseline simply has every pair adjacent.
     faults:
         Optional :class:`FaultModel` for drop/duplicate injection.
+    reliability:
+        Opt-in layer-1.5 reliable delivery over the (possibly faulty)
+        links: ``True`` for the default
+        :class:`~repro.reliability.ReliabilityConfig`, or a configured
+        instance.  Every send is then sequence-numbered, acknowledged and
+        retransmitted until delivered exactly once in per-link order —
+        see :mod:`repro.reliability` and ``docs/robustness.md``.  Off by
+        default; when off, the send path is unchanged.
     seed:
         Seed for the machine's internal stream (random queue policy).
     size_fn:
@@ -94,6 +103,7 @@ class Machine:
         latency: LatencyFn = 0,
         enforce_adjacency: bool = True,
         faults: FaultModel = ReliableLinks,
+        reliability: Union[None, bool, "ReliabilityConfig"] = None,
         seed: int = 0,
         size_fn: Optional[Callable[[Any], int]] = None,
         telemetry: Optional["TelemetryBus"] = None,
@@ -146,8 +156,21 @@ class Machine:
             )
         else:
             self._latency_fn = latency
-        #: reliable zero-latency sends skip the fault/latency machinery
-        self._fast_send = faults.is_reliable and self._latency_fn is None
+        if reliability:
+            from ..reliability import ReliabilityConfig, ReliableDelivery
+
+            config = reliability if isinstance(reliability, ReliabilityConfig) else None
+            self._reliability: Optional["ReliableDelivery"] = ReliableDelivery(
+                self, config
+            )
+        else:
+            self._reliability = None
+        #: reliable zero-latency sends skip the fault/latency/protocol machinery
+        self._fast_send = (
+            faults.is_reliable
+            and self._latency_fn is None
+            and self._reliability is None
+        )
         #: messages maturing at a future step: step -> [(dst, envelope)]
         self._in_flight: Dict[int, List[Tuple[NodeId, Envelope]]] = {}
         self._in_flight_count = 0
@@ -226,6 +249,10 @@ class Machine:
 
     def _send_slow(self, src: NodeId, dst: NodeId, payload: Any) -> None:
         """Fault-injection / link-latency send path (opt-in extensions)."""
+        rel = self._reliability
+        if rel is not None:
+            rel.send(src, dst, payload)
+            return
         copies = self._faults.copies_to_deliver()
         if copies == 0:
             self._record_drop(dst, "fault")
@@ -305,12 +332,19 @@ class Machine:
 
     @property
     def is_quiescent(self) -> bool:
-        """True when no messages are queued, in flight, or awaiting a poll."""
+        """True when no messages are queued, in flight, or awaiting a poll
+        (including unacknowledged frames held by the reliability layer)."""
         return (
             self._queued_count == 0
             and self._in_flight_count == 0
             and not self._poll_requests
+            and (self._reliability is None or not self._reliability.pending)
         )
+
+    @property
+    def reliability(self) -> Optional["ReliableDelivery"]:
+        """The layer-1.5 reliable-delivery engine, or None when disabled."""
+        return self._reliability
 
     def state_of(self, node: NodeId) -> Any:
         """Application state of ``node`` (read-only inspection)."""
@@ -330,6 +364,12 @@ class Machine:
         """Execute one simulation time step; return messages delivered."""
         self.current_step += 1
         step = self.current_step
+        # Land reliability-protocol frames first (they enqueue released
+        # payloads and schedule retransmits), so protected messages are
+        # deliverable within this step — same latency as an unprotected send.
+        rel = self._reliability
+        if rel is not None:
+            rel.on_step(step)
         # Mature in-flight messages first: they were sent at least one full
         # step ago, so they are deliverable within this step.
         matured = self._in_flight.pop(step, None)
@@ -400,10 +440,16 @@ class Machine:
             raise SimulationError(f"max_steps must be >= 0, got {max_steps}")
         executed = self.current_step + 1
         step = self.step
+        rel = self._reliability
         while (
             executed < max_steps
             and not self._halted
-            and (self._queued_count or self._in_flight_count or self._poll_requests)
+            and (
+                self._queued_count
+                or self._in_flight_count
+                or self._poll_requests
+                or (rel is not None and rel.pending)
+            )
         ):
             step()
             executed += 1

@@ -28,6 +28,19 @@ class FaultModel:
     rng:
         Seeded random stream; required when either probability is non-zero
         so runs stay reproducible.
+
+    Sampling order
+    --------------
+    Each call to :meth:`copies_to_deliver` draws the *drop* decision first
+    and the *duplicate* decision second, and both draws are made whenever
+    the corresponding probability is non-zero — even when the other
+    decision already settled the outcome.  The two decisions are therefore
+    independent Bernoulli variables, the per-message rng consumption is a
+    constant of the configuration (not of the outcomes), and a dropped
+    message can simultaneously be a would-be duplicate (the drop wins:
+    zero copies).  Earlier revisions skipped the duplicate draw after a
+    drop, which entangled the two streams — changing the duplicate rate
+    perturbed *which* messages got dropped under the same seed.
     """
 
     __slots__ = ("drop_probability", "duplicate_probability", "_rng")
@@ -51,17 +64,22 @@ class FaultModel:
         self._rng = rng
 
     def copies_to_deliver(self) -> int:
-        """How many copies of the next sent message reach the inbox (0/1/2)."""
-        if self._rng is None:
+        """How many copies of the next sent message reach the inbox (0/1/2).
+
+        Draws are independent and the drop decision dominates; see the
+        class docstring ("Sampling order") for the exact contract.
+        """
+        rng = self._rng
+        if rng is None:
             return 1
-        if self.drop_probability and self._rng.random() < self.drop_probability:
+        dropped = self.drop_probability > 0.0 and rng.random() < self.drop_probability
+        duplicated = (
+            self.duplicate_probability > 0.0
+            and rng.random() < self.duplicate_probability
+        )
+        if dropped:
             return 0
-        if (
-            self.duplicate_probability
-            and self._rng.random() < self.duplicate_probability
-        ):
-            return 2
-        return 1
+        return 2 if duplicated else 1
 
     @property
     def is_reliable(self) -> bool:

@@ -52,6 +52,7 @@ class EngineStats:
         "cancels_sent",
         "cancels_received",
         "late_replies",
+        "dup_work",
     )
 
     def __init__(self) -> None:
@@ -65,6 +66,9 @@ class EngineStats:
         self.cancels_sent = 0
         self.cancels_received = 0
         self.late_replies = 0
+        #: duplicate deliveries of the same work item, suppressed (layer-1
+        #: duplication faults reaching layer 4 unprotected)
+        self.dup_work = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for reports."""
@@ -109,7 +113,8 @@ class RecursionEngine:
         engine publishes layer-4 events — an ``invocation`` span per
         completed activation plus ``call`` / ``choice`` / ``sync`` /
         ``result`` / ``choice_win`` / ``choice_exhausted`` / ``cancelled``
-        / ``late_reply`` instants — and keeps the layer-5 probe node
+        / ``late_reply`` / ``dup_work`` instants — and keeps the layer-5
+        probe node
         current while driving user generators.
     """
 
@@ -138,6 +143,22 @@ class RecursionEngine:
         hint: Optional[float],
     ) -> None:
         st: _EngineState = mctx.state
+        if reply is not None and reply.ticket in st.by_reply_ticket:
+            # Idempotence under duplicated links: the same work item arrived
+            # twice (layer-1 duplication without the reliability layer).
+            # Executing it again would double-reply the same ticket; the
+            # parent would shrug the second off as a late reply, but the
+            # wasted subtree can be large — suppress at the door instead.
+            st.stats.dup_work += 1
+            if self._telemetry is not None:
+                self._telemetry.emit(
+                    4,
+                    "dup_work",
+                    mctx.step,
+                    mctx.node,
+                    attrs={"ticket": str(reply.ticket)},
+                )
+            return
         gen = self.fn(payload)
         if not hasattr(gen, "send"):
             raise ProtocolError(
@@ -309,6 +330,10 @@ class RecursionEngine:
     def _finish(
         self, mctx: MappingContext, st: _EngineState, inv: Invocation, value: Any
     ) -> None:
+        if inv.done or inv.cancelled:
+            # idempotent completion: a second Result for an already-finished
+            # invocation must not reply (and double-count) again
+            return
         inv.done = True
         st.stats.completions += 1
         # retire any still-outstanding speculative subcalls

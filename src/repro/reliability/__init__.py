@@ -1,0 +1,36 @@
+"""Layer 1.5 — reliable delivery over lossy links (paper Figure 2's
+"link state, buffering and reliability" concern, made concrete).
+
+The paper's layer 1 owns reliability on a real hyperspace machine; the
+simulated backend is perfectly reliable by default, so the concern only
+becomes visible when a :class:`~repro.netsim.FaultModel` injects message
+drops and duplicates.  This package restores the contract the upper layers
+assume — **every logical send is delivered exactly once, in per-link FIFO
+order** — with a classic sliding-window protocol pinned to the simulator's
+discrete clock:
+
+* per directed link ``(src, dst)``: monotonically increasing sequence
+  numbers stamped on every outgoing payload;
+* receive side: in-order release, out-of-order buffering, duplicate
+  suppression, and a cumulative acknowledgement after every data frame;
+* send side: unacknowledged frames are retransmitted when their timer
+  (measured in simulation steps) expires, with exponential backoff and a
+  configurable retry cap.
+
+The protocol is opt-in (``Machine(..., reliability=True)`` or via
+``HyperspaceStack(reliable=True)``); switched off, the layer-1 fast send
+path is byte-identical to the unprotected machine.  See
+``docs/robustness.md`` for the design walkthrough and the chaos-test
+harness built on top of it.
+"""
+
+from .frames import AckFrame, DataFrame
+from .protocol import LinkLayerStats, ReliabilityConfig, ReliableDelivery
+
+__all__ = [
+    "AckFrame",
+    "DataFrame",
+    "LinkLayerStats",
+    "ReliabilityConfig",
+    "ReliableDelivery",
+]

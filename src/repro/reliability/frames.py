@@ -1,0 +1,53 @@
+"""Link-level wire format of the reliability protocol.
+
+Frames are what actually crosses the (possibly lossy) channel when the
+protocol is enabled.  They never enter node inboxes and are invisible to
+node programs: a :class:`DataFrame` that clears duplicate suppression
+releases its carried :class:`~repro.netsim.message.Envelope` into the
+destination inbox unchanged, and :class:`AckFrame` traffic terminates at
+the sender's link endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netsim.message import Envelope
+
+__all__ = ["DataFrame", "AckFrame"]
+
+
+class DataFrame:
+    """One payload-bearing frame: a sequence number plus the envelope.
+
+    Retransmissions reuse the *same* frame object (same envelope, same
+    ``msg_id``), so a payload released to the inbox is indistinguishable
+    from one sent over a reliable link.
+    """
+
+    __slots__ = ("seq", "env")
+
+    def __init__(self, seq: int, env: "Envelope") -> None:
+        self.seq = seq
+        self.env = env
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataFrame(seq={self.seq}, {self.env!r})"
+
+
+class AckFrame:
+    """Cumulative acknowledgement: every seq ``<= cum`` has been received.
+
+    Sent by the receiving link endpoint after *every* arriving data frame
+    — including suppressed duplicates, which is how the protocol recovers
+    from lost acknowledgements.
+    """
+
+    __slots__ = ("cum",)
+
+    def __init__(self, cum: int) -> None:
+        self.cum = cum
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AckFrame(cum={self.cum})"

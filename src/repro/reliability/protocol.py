@@ -1,0 +1,400 @@
+"""The reliable-delivery protocol engine (see package docstring).
+
+:class:`ReliableDelivery` is owned by a :class:`~repro.netsim.Machine` and
+models every link's NIC state centrally (the machine simulates all nodes
+anyway).  It sits *between* the send call and the destination inbox:
+
+* ``send(src, dst, payload)`` stamps the payload with the link's next
+  sequence number, parks it in the sender-side retransmit buffer and
+  transmits a :class:`~repro.reliability.frames.DataFrame` through the
+  machine's :class:`~repro.netsim.FaultModel` / latency channel;
+* ``on_step(step)`` — called by the machine at the start of every step —
+  lands frames whose flight time has elapsed (releasing in-order payloads
+  into inboxes and emitting cumulative acks) and retransmits every frame
+  whose timer expired.
+
+Because frames bypass inboxes, the protocol never consumes a node's
+one-pop-per-step delivery budget with control traffic, and the program-visible
+semantics of a faulty-but-protected machine match the reliable machine
+exactly: each payload is enqueued exactly once, in per-link send order.
+Timing differs (a dropped frame delays its payload by the retransmit
+timeout), so *step counts* are not preserved — *verdicts* are.
+
+All protocol state is deterministic: frame arrival order is append order,
+retransmit scans walk links in creation order, and every random draw comes
+from the machine's seeded fault model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ReliabilityError
+from ..netsim.message import Envelope
+from .frames import AckFrame, DataFrame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..netsim.backend import Machine
+
+__all__ = ["ReliabilityConfig", "ReliableDelivery", "LinkLayerStats"]
+
+#: directed link key
+LinkKey = Tuple[int, int]
+
+
+class ReliabilityConfig:
+    """Tunables of the retransmission protocol.
+
+    Parameters
+    ----------
+    timeout:
+        Steps to wait for an acknowledgement before the first
+        retransmission.  Must cover a frame's round trip (2 steps on a
+        zero-latency link) or every message is retransmitted once for free.
+    backoff:
+        Exponential backoff factor: retry *n* waits
+        ``timeout * backoff**n`` steps (capped at ``max_timeout``).
+    max_timeout:
+        Upper bound on the per-retry wait.
+    retry_limit:
+        Maximum retransmissions per frame.  A frame still unacknowledged
+        after the cap is handled per ``on_exhausted``.
+    on_exhausted:
+        ``"raise"`` (default) aborts the run with
+        :class:`~repro.errors.ReliabilityError` — the loud option, for
+        catching a cap that is too small for the configured loss rate;
+        ``"drop"`` gives the message up, recording an end-to-end drop in
+        the trace (reason ``retry_exhausted``).
+    """
+
+    __slots__ = ("timeout", "backoff", "max_timeout", "retry_limit", "on_exhausted")
+
+    def __init__(
+        self,
+        timeout: int = 4,
+        backoff: float = 2.0,
+        max_timeout: int = 64,
+        retry_limit: int = 12,
+        on_exhausted: str = "raise",
+    ) -> None:
+        if timeout < 1:
+            raise ReliabilityError(f"timeout must be >= 1 step, got {timeout}")
+        if backoff < 1.0:
+            raise ReliabilityError(f"backoff must be >= 1.0, got {backoff}")
+        if max_timeout < timeout:
+            raise ReliabilityError(
+                f"max_timeout ({max_timeout}) must be >= timeout ({timeout})"
+            )
+        if retry_limit < 0:
+            raise ReliabilityError(f"retry_limit must be >= 0, got {retry_limit}")
+        if on_exhausted not in ("raise", "drop"):
+            raise ReliabilityError(
+                f"on_exhausted must be 'raise' or 'drop', got {on_exhausted!r}"
+            )
+        self.timeout = timeout
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self.retry_limit = retry_limit
+        self.on_exhausted = on_exhausted
+
+
+class LinkLayerStats:
+    """Protocol counters, always maintained while the layer is enabled.
+
+    Telemetry mirrors these as events (``retransmit`` / ``ack`` /
+    ``dedup``); the counters make them inspectable without a bus.
+    """
+
+    __slots__ = (
+        "data_sent",
+        "delivered",
+        "retransmits",
+        "acks_sent",
+        "acks_received",
+        "dups_suppressed",
+        "frames_lost",
+        "exhausted",
+    )
+
+    def __init__(self) -> None:
+        self.data_sent = 0
+        self.delivered = 0
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.acks_received = 0
+        self.dups_suppressed = 0
+        self.frames_lost = 0
+        self.exhausted = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for reports and tests."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"LinkLayerStats({body})"
+
+
+class _Pending:
+    """Sender-side record of one unacknowledged frame."""
+
+    __slots__ = ("frame", "retries", "due")
+
+    def __init__(self, frame: DataFrame, due: int) -> None:
+        self.frame = frame
+        self.retries = 0
+        self.due = due
+
+
+class _SenderLink:
+    """Send half of a directed link: next seq + retransmit buffer.
+
+    ``unacked`` maps seq -> :class:`_Pending`; insertion order is ascending
+    sequence number, which makes cumulative-ack retirement a prefix pop.
+    """
+
+    __slots__ = ("next_seq", "unacked")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.unacked: Dict[int, _Pending] = {}
+
+
+class _ReceiverLink:
+    """Receive half of a directed link: in-order cursor + reorder buffer."""
+
+    __slots__ = ("expected", "buffer")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.buffer: Dict[int, "Envelope"] = {}
+
+
+class ReliableDelivery:
+    """Per-machine reliability engine; see the module docstring.
+
+    Built by :class:`~repro.netsim.Machine` when constructed with
+    ``reliability=True`` (default config) or a :class:`ReliabilityConfig`.
+    Exposed as ``machine.reliability`` for inspection.
+    """
+
+    __slots__ = (
+        "_machine",
+        "config",
+        "stats",
+        "_senders",
+        "_receivers",
+        "_frames",
+        "_frames_in_flight",
+        "_unacked_total",
+    )
+
+    def __init__(self, machine: "Machine", config: Optional[ReliabilityConfig] = None):
+        self._machine = machine
+        self.config = config if config is not None else ReliabilityConfig()
+        self.stats = LinkLayerStats()
+        self._senders: Dict[LinkKey, _SenderLink] = {}
+        self._receivers: Dict[LinkKey, _ReceiverLink] = {}
+        #: frames in flight: arrival step -> [(src, dst, frame)]
+        self._frames: Dict[int, List[Tuple[int, int, Union[DataFrame, AckFrame]]]] = {}
+        self._frames_in_flight = 0
+        self._unacked_total = 0
+
+    # -- machine-facing surface -----------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Outstanding protocol work: unacked frames + frames in flight.
+
+        The machine keeps stepping while this is non-zero, so a run only
+        goes quiescent once every payload is delivered *and* acknowledged.
+        """
+        return self._unacked_total + self._frames_in_flight
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Accept one logical send from the machine's send path."""
+        m = self._machine
+        link = self._senders.get((src, dst))
+        if link is None:
+            link = self._senders[(src, dst)] = _SenderLink()
+        seq = link.next_seq
+        link.next_seq = seq + 1
+        env = Envelope(src, dst, payload, m.current_step, m._next_msg_id)
+        m._next_msg_id += 1
+        frame = DataFrame(seq, env)
+        link.unacked[seq] = _Pending(frame, m.current_step + 1 + self.config.timeout)
+        self._unacked_total += 1
+        self.stats.data_sent += 1
+        self._transmit(src, dst, frame)
+
+    def on_step(self, step: int) -> None:
+        """Land matured frames, then retransmit everything overdue.
+
+        Called by the machine at the start of every step, before the
+        delivery snapshot — payloads released here are deliverable within
+        the same step, matching the latency of an unprotected send.
+        """
+        arrivals = self._frames.pop(step, None)
+        if arrivals is not None:
+            self._frames_in_flight -= len(arrivals)
+            for src, dst, frame in arrivals:
+                if type(frame) is DataFrame:
+                    self._on_data(src, dst, frame, step)
+                else:
+                    self._on_ack(src, dst, frame, step)
+        self._retransmit_due(step)
+
+    # -- channel ---------------------------------------------------------
+
+    def _transmit(
+        self, src: int, dst: int, frame: Union[DataFrame, AckFrame]
+    ) -> None:
+        """Push one frame through the lossy/latent channel."""
+        m = self._machine
+        copies = m._faults.copies_to_deliver()
+        if copies == 0:
+            self.stats.frames_lost += 1
+            tel = m._telemetry
+            if tel is not None:
+                tel.emit(1, "drop", m.current_step, dst, attrs={"reason": "link"})
+            return
+        latency_fn = m._latency_fn
+        # external endpoints (src/dst -1) have no physical link to model
+        delay = 0 if (latency_fn is None or src < 0 or dst < 0) else latency_fn(src, dst)
+        bucket = self._frames.setdefault(m.current_step + 1 + delay, [])
+        for _ in range(copies):
+            bucket.append((src, dst, frame))
+        self._frames_in_flight += copies
+
+    # -- receive side -----------------------------------------------------
+
+    def _on_data(self, src: int, dst: int, frame: DataFrame, step: int) -> None:
+        rl = self._receivers.get((src, dst))
+        if rl is None:
+            rl = self._receivers[(src, dst)] = _ReceiverLink()
+        seq = frame.seq
+        tel = self._machine._telemetry
+        if seq == rl.expected:
+            self._release(dst, frame.env)
+            rl.expected += 1
+            # a gap just closed: drain any buffered successors in order
+            buffer = rl.buffer
+            while rl.expected in buffer:
+                self._release(dst, buffer.pop(rl.expected))
+                rl.expected += 1
+        elif seq > rl.expected:
+            if seq in rl.buffer:
+                self._suppress(src, dst, seq, step)
+            else:
+                rl.buffer[seq] = frame.env
+        else:
+            self._suppress(src, dst, seq, step)
+        # Cumulative ack after every data frame — duplicates included, so a
+        # lost ack is repaired by the retransmission it provokes.
+        cum = rl.expected - 1
+        self.stats.acks_sent += 1
+        if tel is not None:
+            tel.emit(1, "ack", step, dst, attrs={"dst": src, "cum": cum})
+        self._transmit(dst, src, AckFrame(cum))
+
+    def _release(self, dst: int, env: "Envelope") -> None:
+        """Hand one in-order payload to the destination inbox."""
+        self.stats.delivered += 1
+        self._machine._enqueue(dst, env)
+
+    def _suppress(self, src: int, dst: int, seq: int, step: int) -> None:
+        self.stats.dups_suppressed += 1
+        tel = self._machine._telemetry
+        if tel is not None:
+            tel.emit(1, "dedup", step, dst, attrs={"src": src, "seq": seq})
+
+    # -- send side ---------------------------------------------------------
+
+    def _on_ack(self, src: int, dst: int, frame: AckFrame, step: int) -> None:
+        # the ack travelled receiver -> sender, so the sender link is (dst, src)
+        link = self._senders.get((dst, src))
+        self.stats.acks_received += 1
+        if link is None:  # pragma: no cover - defensive; acks imply a sender
+            return
+        unacked = link.unacked
+        cum = frame.cum
+        tel = self._machine._telemetry
+        while unacked:
+            seq = next(iter(unacked))
+            if seq > cum:
+                break
+            entry = unacked.pop(seq)
+            self._unacked_total -= 1
+            if tel is not None:
+                # span event: dur = retransmissions this frame needed, so the
+                # metrics dump grows a retry-count histogram
+                # (l1.link_retries.steps)
+                tel.emit(
+                    1,
+                    "link_retries",
+                    step,
+                    dst,
+                    dur=entry.retries,
+                    attrs={"dst": src, "seq": seq},
+                )
+
+    def _retransmit_due(self, step: int) -> None:
+        cfg = self.config
+        stats = self.stats
+        tel = self._machine._telemetry
+        for (src, dst), link in self._senders.items():
+            unacked = link.unacked
+            if not unacked:
+                continue
+            for seq in list(unacked):
+                entry = unacked[seq]
+                if entry.due > step:
+                    continue
+                if entry.retries >= cfg.retry_limit:
+                    stats.exhausted += 1
+                    if cfg.on_exhausted == "raise":
+                        raise ReliabilityError(
+                            f"link {src}->{dst} gave up on seq {seq} after "
+                            f"{entry.retries} retransmissions (retry_limit="
+                            f"{cfg.retry_limit}); raise the cap or lower the "
+                            f"fault rate"
+                        )
+                    del unacked[seq]
+                    self._unacked_total -= 1
+                    self._machine._record_drop(dst, "retry_exhausted")
+                    if tel is not None:
+                        tel.emit(
+                            1,
+                            "link_retries",
+                            step,
+                            src,
+                            dur=entry.retries,
+                            attrs={"dst": dst, "seq": seq, "gave_up": True},
+                        )
+                    continue
+                entry.retries += 1
+                stats.retransmits += 1
+                wait = cfg.timeout * (cfg.backoff ** entry.retries)
+                entry.due = step + max(1, min(int(wait), cfg.max_timeout))
+                if tel is not None:
+                    tel.emit(
+                        1,
+                        "retransmit",
+                        step,
+                        src,
+                        attrs={"dst": dst, "seq": seq, "retry": entry.retries},
+                    )
+                self._transmit(src, dst, entry.frame)
+
+    # -- inspection --------------------------------------------------------
+
+    def link_state(self) -> Dict[str, Dict[str, int]]:
+        """Debug snapshot: per-link unacked / buffered counts (non-empty only)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for (src, dst), link in self._senders.items():
+            if link.unacked:
+                out.setdefault(f"{src}->{dst}", {})["unacked"] = len(link.unacked)
+        for (src, dst), rl in self._receivers.items():
+            if rl.buffer:
+                out.setdefault(f"{src}->{dst}", {})["buffered"] = len(rl.buffer)
+        return out

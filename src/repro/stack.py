@@ -37,8 +37,10 @@ from .mapping import (
     make_mapper_factory,
     make_status_factory,
 )
-from .netsim import Machine, SimulationReport, TraceRecorder
+from .netsim import FaultModel, Machine, ReliableLinks, SimulationReport, TraceRecorder
 from .recursion import EngineStats, RecursionEngine, RecursiveFunction
+from .reliability import ReliabilityConfig
+from .rng import substream
 from .sched import SchedulerProgram
 from .telemetry import TelemetryBus
 from .telemetry.probe import install_probes, uninstall_probes
@@ -121,6 +123,17 @@ class HyperspaceStack:
         Optional layer-1 per-link latency: an int or ``f(src, dst) -> int``
         — e.g. :func:`repro.topology.embedding_latency` to run this
         topology virtualised on a host machine.
+    drop / duplicate:
+        Layer-1 link fault rates (Bernoulli per send; the fault stream is
+        seeded from ``seed``, so runs stay reproducible).  Defaults 0.0 —
+        the paper's perfectly reliable links.
+    reliable:
+        Enable the layer-1.5 reliable-delivery protocol
+        (:mod:`repro.reliability`): ``True`` for the default retransmit
+        configuration or a :class:`~repro.reliability.ReliabilityConfig`.
+        With it on, the stack's verdicts are immune to the configured
+        ``drop``/``duplicate`` rates; off (default), faults reach the
+        upper layers unprotected.
     telemetry:
         Cross-layer observability: ``None`` (default, zero overhead), an
         existing :class:`~repro.telemetry.TelemetryBus`, or ``True`` to
@@ -146,6 +159,9 @@ class HyperspaceStack:
         record_queue_depths: bool = False,
         size_fn=None,
         latency=0,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reliable: Union[bool, ReliabilityConfig] = False,
         telemetry: Union[None, bool, TelemetryBus] = None,
     ) -> None:
         self.topology = topology
@@ -169,6 +185,9 @@ class HyperspaceStack:
         self.record_queue_depths = record_queue_depths
         self.size_fn = size_fn
         self.latency = latency
+        self.drop = drop
+        self.duplicate = duplicate
+        self.reliable = reliable
         if telemetry is True:
             telemetry = TelemetryBus()
         elif telemetry is False:
@@ -203,6 +222,14 @@ class HyperspaceStack:
         trace = TraceRecorder(
             self.topology.n_nodes, record_queue_depths=self.record_queue_depths
         )
+        if self.drop or self.duplicate:
+            # fresh fault stream per build: repeated runs on one stack
+            # instance see identical fault schedules
+            faults = FaultModel(
+                self.drop, self.duplicate, rng=substream(self.seed, "l1-faults")
+            )
+        else:
+            faults = ReliableLinks
         machine = Machine(
             self.topology,
             scheduler,
@@ -212,6 +239,8 @@ class HyperspaceStack:
             seed=self.seed,
             size_fn=self.size_fn,
             latency=self.latency,
+            faults=faults,
+            reliability=self.reliable,
             telemetry=self.telemetry,
         )
         return machine, scheduler, service

@@ -12,7 +12,10 @@ Taxonomy (the full per-layer list lives in ``docs/observability.md``):
 =====  ==========  =====================================================
 layer  constant    representative events
 =====  ==========  =====================================================
-1      L1_NETSIM   ``send``, ``deliver``, ``drop``, ``queued`` (counter)
+1      L1_NETSIM   ``send``, ``deliver``, ``drop``, ``queued`` (counter);
+                   with reliable delivery on: ``retransmit``, ``ack``,
+                   ``dedup``, ``link_retries`` (span; per-message retry
+                   count histogram)
 2      L2_SCHED    ``context_switch``, ``run_queue`` (counter),
                    ``budget_exhausted``
 3      L3_MAPPING  ``ticket_issue``, ``ticket_claim``, ``ticket_forward``,
@@ -20,7 +23,7 @@ layer  constant    representative events
                    ``status_broadcast``
 4      L4_RECUR    ``invocation`` (span), ``call``, ``sync``, ``result``,
                    ``choice_win``, ``choice_exhausted``, ``cancelled``,
-                   ``late_reply``
+                   ``late_reply``, ``dup_work``
 5      L5_APP      application probes, e.g. ``dpll.branch`` /
                    ``dpll.backtrack``
 =====  ==========  =====================================================

@@ -1,0 +1,5 @@
+"""Chaos suite: seeded randomized fault injection against the full stack.
+
+Every test here is deterministic — fault schedules derive from fixed seeds,
+so a failure always reproduces.  See ``docs/robustness.md``.
+"""

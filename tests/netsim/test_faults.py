@@ -38,6 +38,70 @@ class TestFaultModel:
         dropped = sum(1 for _ in range(n) if fm.copies_to_deliver() == 0)
         assert 0.25 < dropped / n < 0.35
 
+    def test_rng_required_for_duplicate_only(self):
+        with pytest.raises(SimulationError):
+            FaultModel(duplicate_probability=0.5)
+
+    def test_both_certain_drop_dominates(self):
+        fm = FaultModel(
+            drop_probability=1.0, duplicate_probability=1.0,
+            rng=random.Random(0),
+        )
+        assert all(fm.copies_to_deliver() == 0 for _ in range(10))
+
+
+class TestIndependentDraws:
+    """Regression: the duplicate draw must not be masked by a drop.
+
+    ``copies_to_deliver`` consumes one RNG draw per configured fault
+    (drop first, then duplicate) on *every* call, so the two fault
+    streams are statistically independent and the stream position does
+    not depend on earlier outcomes.
+    """
+
+    def test_seed_pinned_copies_sequence(self):
+        # pinned against the documented sampling order; any change to the
+        # draw order or conditional consumption breaks this sequence
+        fm = FaultModel(0.4, 0.35, rng=random.Random(2026))
+        assert [fm.copies_to_deliver() for _ in range(20)] == [
+            0, 1, 0, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 1, 2, 0, 0, 1, 2, 1,
+        ]
+
+    def test_constant_rng_consumption_per_call(self):
+        # both faults configured -> exactly two draws per call, dropped
+        # or not; a shadow RNG advanced 2 draws/call must stay in sync
+        fm = FaultModel(0.7, 0.3, rng=random.Random(99))
+        shadow = random.Random(99)
+        for _ in range(50):
+            fm.copies_to_deliver()
+            shadow.random(), shadow.random()
+        assert fm._rng.random() == shadow.random()
+
+    def test_certain_duplicate_never_masked_by_drops(self):
+        # with duplicate_probability=1.0 every *delivered* message must be
+        # duplicated — under the old entangled sampling, the draw that
+        # followed a drop could yield copies == 1
+        fm = FaultModel(0.5, 1.0, rng=random.Random(11))
+        copies = [fm.copies_to_deliver() for _ in range(200)]
+        assert set(copies) == {0, 2}
+
+    def test_duplicate_stream_independent_of_drop_rate(self):
+        # same seed, wildly different drop rates: the duplicate draw for
+        # message i is RNG draw 2i+1 either way, so the duplicate stream
+        # (and the RNG stream position) is identical
+        always = FaultModel(1.0, 0.5, rng=random.Random(31337))
+        never = FaultModel(1e-12, 0.5, rng=random.Random(31337))
+        shadow = random.Random(31337)
+        expect = []
+        for _ in range(40):
+            shadow.random()  # drop draw
+            expect.append(shadow.random() < 0.5)  # duplicate draw
+        got = [never.copies_to_deliver() == 2 for _ in range(40)]
+        assert got == expect
+        assert all(always.copies_to_deliver() == 0 for _ in range(40))
+        # both models consumed the same number of draws
+        assert always._rng.random() == never._rng.random()
+
 
 class TestFaultsInMachine:
     @staticmethod

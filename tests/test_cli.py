@@ -111,3 +111,34 @@ class TestSolveCommand:
         out = capsys.readouterr().out
         vline = [l for l in out.splitlines() if l.startswith("v ")][0]
         assert vline.endswith(" 0")
+
+
+class TestSolveFaultFlags:
+    def test_reliable_solve_over_lossy_links(self, tmp_path, capsys):
+        path = tmp_path / "p.cnf"
+        path.write_text("p cnf 2 2\n1 0\n-1 2 0\n")
+        rc = main(["solve", str(path), "--topology", "ring:6", "--seed", "5",
+                   "--drop", "0.05", "--dup", "0.02", "--reliable"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert "reliable delivery on" in out
+        assert "c reliability" in out and "retransmits" in out
+
+    def test_unprotected_faults_flagged_in_profile(self, tmp_path, capsys):
+        path = tmp_path / "p.cnf"
+        path.write_text("p cnf 2 1\n1 2 0\n")
+        rc = main(["solve", str(path), "--topology", "ring:4", "--seed", "4",
+                   "--drop", "0.01"])
+        # the run may still agree with the sequential solver (rc 0) or lose
+        # a decisive sub-problem (rc 2); either way the banner must warn
+        assert rc in (0, 2)
+        assert "UNPROTECTED" in capsys.readouterr().out or rc == 2
+
+    def test_retry_limit_implies_reliable(self, tmp_path, capsys):
+        path = tmp_path / "p.cnf"
+        path.write_text("p cnf 2 2\n1 0\n-1 2 0\n")
+        rc = main(["solve", str(path), "--topology", "ring:6", "--seed", "5",
+                   "--drop", "0.05", "--retry-limit", "20"])
+        assert rc == 0
+        assert "reliable delivery on" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Estimate line coverage of ``src/repro`` using only the stdlib.
+
+CI enforces the real coverage gate with coverage.py (``pytest --cov``);
+this tool exists for environments without coverage.py installed — it
+answers "is the configured floor still sane?" without any third-party
+dependency.
+
+Method: a ``sys.settrace`` tracer records executed line numbers for files
+under ``src/repro`` only (frames elsewhere are not traced, keeping the
+overhead far below ``trace.Trace``), while the denominator — executable
+lines per file — is recovered from compiled code objects via
+``dis.findlinestarts``.  The estimate is *conservative* relative to
+coverage.py: ``# pragma: no cover`` exclusions are ignored here, and
+subprocess workers (the parallel sweep executor) are not traced, so
+coverage.py normally reports a slightly **higher** figure than this tool.
+
+Usage::
+
+    python tools/estimate_coverage.py [pytest args...]
+
+e.g. ``python tools/estimate_coverage.py -q tests`` (the default).
+"""
+
+from __future__ import annotations
+
+import dis
+import os
+import sys
+import types
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src", "repro")
+
+
+def executable_lines(path: str) -> set:
+    """Line numbers that can emit a trace event, from the compiled code."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    lines: set = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        lines.update(
+            line for _, line in dis.findlinestarts(code) if line is not None
+        )
+        stack.extend(
+            const for const in code.co_consts
+            if isinstance(const, types.CodeType)
+        )
+    return lines
+
+
+def main(argv: list) -> int:
+    executed: dict = {}
+
+    def global_tracer(frame, event, arg):
+        if event != "call":
+            return None
+        filename = frame.f_code.co_filename
+        if not filename.startswith(SRC):
+            return None
+        lines = executed.setdefault(filename, set())
+        add = lines.add
+
+        def local_tracer(frame, event, arg):
+            if event == "line":
+                add(frame.f_lineno)
+            return local_tracer
+
+        return local_tracer
+
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    import pytest  # deferred so the tracer does not slow the import
+
+    args = argv or ["-q", os.path.join(REPO, "tests")]
+    sys.settrace(global_tracer)
+    try:
+        exit_code = pytest.main(args)
+    finally:
+        sys.settrace(None)
+    if exit_code != 0:
+        print(f"pytest failed (exit {exit_code}); estimate not meaningful")
+        return int(exit_code)
+
+    total = covered = 0
+    rows = []
+    for dirpath, _dirnames, filenames in os.walk(SRC):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            want = executable_lines(path)
+            got = executed.get(path, set()) & want
+            total += len(want)
+            covered += len(got)
+            pct = 100.0 * len(got) / len(want) if want else 100.0
+            rows.append((pct, os.path.relpath(path, REPO), len(got), len(want)))
+
+    rows.sort()
+    print(f"\n{'file':58s} {'lines':>11s}  cover")
+    for pct, rel, got, want in rows:
+        print(f"{rel:58s} {got:5d}/{want:5d}  {pct:5.1f}%")
+    overall = 100.0 * covered / total if total else 100.0
+    print(f"\nTOTAL {covered}/{total} executable lines — {overall:.1f}% (estimate)")
+    print("note: coverage.py in CI usually reports higher (pragmas excluded,")
+    print("subprocess workers measured); pick the gate floor below this figure")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
