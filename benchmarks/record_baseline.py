@@ -1,11 +1,15 @@
 """Record the repository performance baseline (``BENCH_baseline.json``).
 
-Measures the two numbers the optimization work tracks:
+Measures the numbers the optimization work tracks:
 
 1. **Simulator hot-path throughput** — deliveries per second of the layer-1
    event loop under three synthetic loads (dense storm, traversal flood,
    sparse ping-pong), median of several repeats;
-2. **Sweep wall time** — ``run_figure4(QUICK)`` end to end, serial and
+2. **Subsystem overheads** — telemetry (metrics / full trace), the
+   reliability protocol (clean / faulty links), and the everything-on
+   protected + instrumented configuration, each as throughput lost
+   against the corresponding bare run;
+3. **Sweep wall time** — ``run_figure4(QUICK)`` end to end, serial and
    through the process-pool executor, asserting both produce identical
    points.
 
@@ -33,7 +37,7 @@ from repro.netsim import EMPTY_MSG, Machine
 from repro.topology import Torus
 
 #: bump when the workloads or the JSON layout change
-SCHEMA = "repro-bench-baseline/1"
+SCHEMA = "repro-bench-baseline/2"
 
 
 # -- microbenchmark workloads ---------------------------------------------
@@ -50,9 +54,13 @@ class _Storm:
         ctx.send(ctx.neighbours[ctx.state & 3], payload)
 
 
-def storm_rate(steps: int = 400, telemetry=None) -> float:
-    """Deliveries/s with all 400 nodes of a 20x20 torus busy every step."""
-    m = Machine(Torus((20, 20)), _Storm(), telemetry=telemetry)
+def storm_rate(steps: int = 400, telemetry=None, **machine_kwargs) -> float:
+    """Deliveries/s with all 400 nodes of a 20x20 torus busy every step.
+
+    Extra keyword arguments go straight to :class:`Machine`, so the same
+    workload measures any configuration (faults, reliability, ...).
+    """
+    m = Machine(Torus((20, 20)), _Storm(), telemetry=telemetry, **machine_kwargs)
     for n in range(400):
         m.inject(n, EMPTY_MSG)
     m.step()  # warm-up: one step to populate every queue
@@ -182,21 +190,10 @@ def measure_reliability_overhead(repeats: int) -> dict:
         vals = sorted(fn() for _ in range(repeats))
         return round(vals[len(vals) // 2])
 
-    def storm_with(**kwargs):
-        m = Machine(Torus((20, 20)), _Storm(), **kwargs)
-        for n in range(400):
-            m.inject(n, EMPTY_MSG)
-        m.step()
-        t0 = time.perf_counter()
-        delivered = 0
-        for _ in range(400):
-            delivered += m.step()
-        return delivered / (time.perf_counter() - t0)
-
-    off = med(storm_with)
-    on_clean = med(lambda: storm_with(reliability=ReliabilityConfig()))
+    off = med(storm_rate)
+    on_clean = med(lambda: storm_rate(reliability=ReliabilityConfig()))
     on_faulty = med(
-        lambda: storm_with(
+        lambda: storm_rate(
             faults=FaultModel(0.05, 0.02, rng=_random.Random(2017)),
             reliability=ReliabilityConfig(),
         )
@@ -209,6 +206,38 @@ def measure_reliability_overhead(repeats: int) -> dict:
         "on_faulty": on_faulty,
         "on_clean_overhead_pct": round(100.0 * (1.0 - on_clean / off), 1),
         "on_faulty_overhead_pct": round(100.0 * (1.0 - on_faulty / off), 1),
+    }
+
+
+def measure_protected_instrumented(repeats: int) -> dict:
+    """The everything-on configuration: reliability *and* metrics together.
+
+    The two subsystems contend for the same hot path (the protocol emits
+    telemetry itself when a bus is attached), so the combined cost is
+    recorded as its own number instead of being assumed additive.
+    """
+    from repro.reliability import ReliabilityConfig
+    from repro.telemetry import MetricsSubscriber, TelemetryBus
+
+    def med(fn):
+        vals = sorted(fn() for _ in range(repeats))
+        return round(vals[len(vals) // 2])
+
+    def metrics_bus():
+        bus = TelemetryBus()
+        bus.attach(MetricsSubscriber())
+        return bus
+
+    plain = med(storm_rate)
+    protected = med(
+        lambda: storm_rate(telemetry=metrics_bus(), reliability=ReliabilityConfig())
+    )
+    return {
+        "unit": "deliveries per second",
+        "workload": "storm_torus400",
+        "plain": plain,
+        "protected_instrumented": protected,
+        "overhead_pct": round(100.0 * (1.0 - protected / plain), 1),
     }
 
 
@@ -262,6 +291,31 @@ def main(argv=None) -> int:
         print(json.dumps(measure_micro(args.repeats)))
         return 0
 
+    def run_reference_micro():
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(args.compare, "src")
+        out = subprocess.run(
+            [sys.executable, os.path.abspath(__file__),
+             "--micro-json", "--repeats", str(args.repeats)],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return json.loads(out.stdout.splitlines()[-1])
+
+    micro_keys = ("storm_torus400", "flood_torus400", "sparse_torus256")
+    if args.compare:
+        # Interleave the runs (reference, local, reference) and score the
+        # local numbers against the *best* reference pass: host frequency
+        # drift between passes then shows up as a reference improvement
+        # rather than a phantom local regression.
+        ref_a = run_reference_micro()
+        micro = measure_micro(args.repeats)
+        ref_b = run_reference_micro()
+        reference = dict(ref_b)
+        for k in micro_keys:
+            reference[k] = max(ref_a[k], ref_b[k])
+    else:
+        micro = measure_micro(args.repeats)
+
     payload = {
         "schema": SCHEMA,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -270,23 +324,20 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
         },
-        "microbenchmark": measure_micro(args.repeats),
+        "microbenchmark": micro,
         "telemetry_overhead": measure_telemetry_overhead(args.repeats),
         "reliability_overhead": measure_reliability_overhead(args.repeats),
+        "protected_instrumented": measure_protected_instrumented(args.repeats),
     }
     if args.compare:
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.path.join(args.compare, "src")
-        out = subprocess.run(
-            [sys.executable, os.path.abspath(__file__),
-             "--micro-json", "--repeats", str(args.repeats)],
-            capture_output=True, text=True, env=env, check=True,
-        )
-        reference = json.loads(out.stdout.splitlines()[-1])
-        payload["microbenchmark_reference"] = {"checkout": args.compare, **reference}
+        payload["microbenchmark_reference"] = {
+            "checkout": args.compare,
+            "interleaved": "best of two reference passes bracketing the local run",
+            **reference,
+        }
         payload["microbenchmark_improvement_pct"] = {
             k: round(100.0 * (payload["microbenchmark"][k] / reference[k] - 1.0), 1)
-            for k in ("storm_torus400", "flood_torus400", "sparse_torus256")
+            for k in micro_keys
         }
     if not args.skip_figure4:
         payload["figure4_quick"] = measure_figure4(args.jobs)

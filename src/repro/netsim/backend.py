@@ -171,6 +171,10 @@ class Machine:
             and self._latency_fn is None
             and self._reliability is None
         )
+        #: sends since the last step boundary, coalesced into one telemetry
+        #: counter delta per step (the per-event record rides the bus ring
+        #: only when a subscriber retains events)
+        self._tel_sends = 0
         #: messages maturing at a future step: step -> [(dst, envelope)]
         self._in_flight: Dict[int, List[Tuple[NodeId, Envelope]]] = {}
         self._in_flight_count = 0
@@ -218,7 +222,15 @@ class Machine:
         self.trace.on_send(src, self.current_step, payload, size)
         tel = self._telemetry
         if tel is not None:
-            tel.emit(1, "send", self.current_step, src, attrs={"dst": dst, "size": size})
+            # one machine-local int bump per send; the coalesced counter
+            # delta is published at the step boundary.  The per-event tuple
+            # is staged only when someone retains events.
+            self._tel_sends += 1
+            if tel.want_events:
+                tel.record(
+                    self.current_step, 1, "send", src,
+                    None, {"dst": dst, "size": size},
+                )
         if self._fast_send:
             # common path: reliable links, zero latency — exactly one copy,
             # deliverable next step (enqueue inlined: this runs once per
@@ -371,12 +383,15 @@ class Machine:
         if rel is not None:
             rel.on_step(step)
         # Mature in-flight messages first: they were sent at least one full
-        # step ago, so they are deliverable within this step.
-        matured = self._in_flight.pop(step, None)
-        if matured is not None:
-            self._in_flight_count -= len(matured)
-            for dst, env in matured:
-                self._enqueue(dst, env)
+        # step ago, so they are deliverable within this step.  The count
+        # guard keeps the default (zero-latency) configuration from paying
+        # a dict lookup per step.
+        if self._in_flight_count:
+            matured = self._in_flight.pop(step, None)
+            if matured is not None:
+                self._in_flight_count -= len(matured)
+                for dst, env in matured:
+                    self._enqueue(dst, env)
         # Poll nodes that requested a step callback (snapshot: re-requests
         # made during the callback land on the following step).
         if self._poll_requests:
@@ -401,24 +416,52 @@ class Machine:
             pop_fns = self._pop_fns
             contexts = self._contexts
             depths = self._depths
-            on_deliver = self.trace.on_deliver
             on_message = self.program.on_message
-            write = 0
-            for read in range(n0):
-                node = active[read]
-                env = pop_fns[node]()
-                depth = depths[node] - 1
-                depths[node] = depth
-                if depth:
-                    active[write] = node
-                    write += 1
-                on_deliver(node, step)
-                if tel is not None:
-                    tel.emit(1, "deliver", step, node)
-                on_message(contexts[node], env.src, env.payload)
-            if write != n0:
-                del active[write:n0]
+            if tel is None or not tel.want_events:
+                # Batched kernel: the snapshot slice *is* this step's
+                # delivery set (one pop per non-empty-at-step-start queue,
+                # ascending node id), so per-delivery trace bookkeeping is
+                # hoisted into one on_deliver_batch call after the pass.
+                delivered = active[:n0]
+                write = 0
+                for node in delivered:
+                    env = pop_fns[node]()
+                    depth = depths[node] - 1
+                    depths[node] = depth
+                    if depth:
+                        active[write] = node
+                        write += 1
+                    on_message(contexts[node], env.src, env.payload)
+                if write != n0:
+                    del active[write:n0]
+                self.trace.on_deliver_batch(delivered, step)
+            else:
+                # Faithful kernel: a subscriber retains events, so the
+                # per-delivery record must interleave with handler sends to
+                # keep the published stream causally ordered (the order the
+                # trace-subsumption tests pin).
+                on_deliver = self.trace.on_deliver
+                record = tel.record
+                write = 0
+                for read in range(n0):
+                    node = active[read]
+                    env = pop_fns[node]()
+                    depth = depths[node] - 1
+                    depths[node] = depth
+                    if depth:
+                        active[write] = node
+                        write += 1
+                    on_deliver(node, step)
+                    record(step, 1, "deliver", node)
+                    on_message(contexts[node], env.src, env.payload)
+                if write != n0:
+                    del active[write:n0]
             self._queued_count -= n0
+        # Flush deferred protocol acknowledgements (piggyback window closes
+        # with the step; standalone acks keep the same next-step arrival as
+        # the old ack-per-frame scheme).
+        if rel is not None:
+            rel.end_step()
         self.trace.on_step_end(
             step,
             self._queued_count,
@@ -426,12 +469,19 @@ class Machine:
             self.queue_depths() if self.trace.record_queue_depths else None,
         )
         if tel is not None:
+            sends = self._tel_sends
+            if sends:
+                self._tel_sends = 0
+                tel.count(1, "send", sends)
+            if n0:
+                tel.count(1, "deliver", n0)
             tel.emit(
                 1,
                 "queued",
                 step,
                 attrs={"value": self._queued_count, "delivered": n0},
             )
+            tel.flush()
         return n0
 
     def run(self, max_steps: int = 1_000_000) -> SimulationReport:

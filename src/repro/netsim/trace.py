@@ -133,6 +133,22 @@ class TraceRecorder:
             self.first_activity_step = step
         self.last_activity_step = step
 
+    def on_deliver_batch(self, nodes: Sequence[int], step: int) -> None:
+        """Bulk equivalent of :meth:`on_deliver` for one step's deliveries.
+
+        The backend's batched kernel calls this once per step with the
+        delivery snapshot instead of once per message.  ``nodes`` must be
+        non-empty; the resulting counters are identical to calling
+        :meth:`on_deliver` for each node in order.
+        """
+        self.delivered_total += len(nodes)
+        node_delivered = self.node_delivered
+        for dst in nodes:
+            node_delivered[dst] += 1
+        if self.first_activity_step is None:
+            self.first_activity_step = step
+        self.last_activity_step = step
+
     def on_step_end(
         self,
         step: int,

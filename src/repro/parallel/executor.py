@@ -16,7 +16,9 @@ problem)`` cell.  This module fans those cells out across host cores:
 
 The worker count resolves as: explicit ``jobs`` argument, else the
 ``REPRO_JOBS`` environment variable, else 1 (serial).  ``0`` / ``"auto"``
-mean "one worker per host core".
+mean "one worker per host core", and every resolution is capped at the
+host core count — oversubscribed workers cannot run concurrently but
+still pay full spawn-and-import warmup each.
 """
 
 from __future__ import annotations
@@ -56,7 +58,9 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Resolve a worker count from the argument, ``REPRO_JOBS``, or 1.
 
     ``0`` (or ``REPRO_JOBS=auto``) means one worker per host core.
-    Negative values are rejected.
+    Negative values are rejected.  The result never exceeds the host
+    core count: extra workers cannot add concurrency, but each one
+    still pays the full interpreter spawn + import warmup.
     """
     if jobs is None:
         raw = os.environ.get(JOBS_ENV_VAR, "").strip().lower()
@@ -73,9 +77,10 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 ) from None
     if jobs < 0:
         raise SimulationError(f"jobs must be >= 0, got {jobs}")
+    cpus = os.cpu_count() or 1
     if jobs == 0:
-        jobs = os.cpu_count() or 1
-    return jobs
+        return cpus
+    return min(jobs, cpus)
 
 
 def _invoke(fn: Callable[[T], R], task: T) -> "tuple[bool, object]":
@@ -125,7 +130,13 @@ def run_tasks(
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
+    if (
+        jobs <= 1
+        or len(tasks) <= 1
+        # an explicit chunksize that swallows the whole task set would be
+        # shipped to a single worker anyway — skip the pool spawn
+        or (chunksize is not None and len(tasks) <= chunksize)
+    ):
         return _run_serial(fn, tasks)
     jobs = min(jobs, len(tasks))
     if chunksize is None:

@@ -18,7 +18,7 @@ import numpy as np
 from ..apps.sat import solve_on_machine
 from ..apps.sat.cnf import CNF
 from ..topology import Topology
-from .executor import run_tasks
+from .executor import resolve_jobs, run_tasks
 
 __all__ = ["SatTask", "SatOutcome", "run_sat_task", "solve_sat_tasks"]
 
@@ -112,5 +112,16 @@ def solve_sat_tasks(
     jobs: Optional[int] = None,
     chunksize: Optional[int] = None,
 ) -> "list[SatOutcome]":
-    """Run a batch of sweep cells, results in task order (deterministic)."""
+    """Run a batch of sweep cells, results in task order (deterministic).
+
+    Unless overridden, cells ship in chunks of roughly *two per worker*:
+    sweep cells are coarse (each is a whole simulation), so per-trip IPC
+    and pool warmup dominate over tail balance, and fewer-but-larger
+    chunks amortise both better than the executor's generic default.
+    """
+    tasks = list(tasks)
+    if chunksize is None:
+        workers = resolve_jobs(jobs)
+        if workers > 1:
+            chunksize = max(1, -(-len(tasks) // (workers * 2)))
     return run_tasks(run_sat_task, tasks, jobs=jobs, chunksize=chunksize)

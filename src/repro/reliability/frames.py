@@ -24,24 +24,42 @@ class DataFrame:
     Retransmissions reuse the *same* frame object (same envelope, same
     ``msg_id``), so a payload released to the inbox is indistinguishable
     from one sent over a reliable link.
+
+    The frame doubles as the sender's retransmit record: ``due`` (the step
+    its timer fires) and ``retries`` live directly on the frame, so the
+    clean-link send path allocates exactly one protocol object per message.
+
+    ``ack`` piggybacks a cumulative acknowledgement for the *reverse*
+    direction of the link (``-1`` = none): when the sending endpoint owes
+    the destination an ack for data it received, the ack rides the next
+    data frame instead of a standalone :class:`AckFrame`.  A retransmitted
+    frame re-carries whatever ack it was stamped with — cumulative acks are
+    idempotent, so a stale one is harmless.
     """
 
-    __slots__ = ("seq", "env")
+    __slots__ = ("seq", "env", "ack", "due", "retries")
 
-    def __init__(self, seq: int, env: "Envelope") -> None:
+    def __init__(self, seq: int, env: "Envelope", ack: int = -1) -> None:
         self.seq = seq
         self.env = env
+        self.ack = ack
+        self.due = 0
+        self.retries = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"DataFrame(seq={self.seq}, {self.env!r})"
+        piggy = f", ack={self.ack}" if self.ack >= 0 else ""
+        return f"DataFrame(seq={self.seq}{piggy}, {self.env!r})"
 
 
 class AckFrame:
     """Cumulative acknowledgement: every seq ``<= cum`` has been received.
 
-    Sent by the receiving link endpoint after *every* arriving data frame
-    — including suppressed duplicates, which is how the protocol recovers
-    from lost acknowledgements.
+    Standalone ack frames are the fallback for links with no reverse data
+    traffic: the receiving endpoint notes which links it owes an ack after
+    each arriving data frame (duplicates included — that is how the
+    protocol recovers from lost acknowledgements) and flushes one
+    cumulative :class:`AckFrame` per owed link at the end of the step,
+    unless a reverse-direction data frame already carried it.
     """
 
     __slots__ = ("cum",)

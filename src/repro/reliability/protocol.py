@@ -5,13 +5,38 @@ models every link's NIC state centrally (the machine simulates all nodes
 anyway).  It sits *between* the send call and the destination inbox:
 
 * ``send(src, dst, payload)`` stamps the payload with the link's next
-  sequence number, parks it in the sender-side retransmit buffer and
-  transmits a :class:`~repro.reliability.frames.DataFrame` through the
-  machine's :class:`~repro.netsim.FaultModel` / latency channel;
+  sequence number, parks the frame in the sender-side retransmit buffer,
+  arms its timer and transmits it through the machine's
+  :class:`~repro.netsim.FaultModel` / latency channel — piggybacking any
+  cumulative acknowledgement owed to ``dst`` on the frame itself;
 * ``on_step(step)`` — called by the machine at the start of every step —
   lands frames whose flight time has elapsed (releasing in-order payloads
-  into inboxes and emitting cumulative acks) and retransmits every frame
-  whose timer expired.
+  into inboxes) and fires exactly the retransmit timers due at ``step``;
+* ``end_step()`` — called by the machine at the end of every step —
+  flushes one standalone cumulative ack per link that received data this
+  step and did not get to piggyback it.  Standalone acks leave in the same
+  step the data arrived, so ack round-trip timing matches the old
+  ack-per-frame scheme exactly; there are just fewer ack frames.
+
+Hot-path structure (the on_clean overhead budget):
+
+* the retransmit scan is a **timer wheel** (``_timers``: due step -> flat
+  ``[link, seq, link, seq, ...]`` list).  A step with no due timers costs
+  one dict lookup; acked frames leave stale wheel entries that are
+  discarded O(1) when their bucket fires (``unacked`` lookup miss) — no
+  per-step walk over links, no per-link list allocation.  On clean
+  zero-latency links the timer can provably never fire (the ack always
+  lands first, since arrivals are processed before timers), so it is not
+  armed at all;
+* the sender-side retransmit record lives *on* the
+  :class:`~repro.reliability.frames.DataFrame` (``due`` / ``retries``
+  slots), so a clean-link send allocates one envelope and one frame —
+  nothing else;
+* in-flight frames are flat ``[src, dst, frame, ...]`` buckets keyed by
+  arrival step (no per-frame tuples);
+* acknowledgements are cumulative and **coalesced**: at most one ack
+  crosses each link per step (piggybacked on reverse data when possible),
+  instead of one ack frame per arriving data frame.
 
 Because frames bypass inboxes, the protocol never consumes a node's
 one-pop-per-step delivery budget with control traffic, and the program-visible
@@ -21,13 +46,14 @@ Timing differs (a dropped frame delays its payload by the retransmit
 timeout), so *step counts* are not preserved — *verdicts* are.
 
 All protocol state is deterministic: frame arrival order is append order,
-retransmit scans walk links in creation order, and every random draw comes
-from the machine's seeded fault model.
+timer buckets fire in arming order, ack flush order is the order links
+first received data in the step, and every random draw comes from the
+machine's seeded fault model.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..errors import ReliabilityError
 from ..netsim.message import Envelope
@@ -103,6 +129,12 @@ class LinkLayerStats:
 
     Telemetry mirrors these as events (``retransmit`` / ``ack`` /
     ``dedup``); the counters make them inspectable without a bus.
+
+    Since acks are cumulative and coalesced (at most one per link per
+    step, piggybacked on reverse data when possible), ``acks_sent`` counts
+    standalone ack *frames*, ``acks_piggybacked`` counts acks carried on
+    data frames, and ``acks_received`` counts cumulative-ack applications
+    at the sending endpoint (both kinds, duplicates included).
     """
 
     __slots__ = (
@@ -110,6 +142,7 @@ class LinkLayerStats:
         "delivered",
         "retransmits",
         "acks_sent",
+        "acks_piggybacked",
         "acks_received",
         "dups_suppressed",
         "frames_lost",
@@ -121,6 +154,7 @@ class LinkLayerStats:
         self.delivered = 0
         self.retransmits = 0
         self.acks_sent = 0
+        self.acks_piggybacked = 0
         self.acks_received = 0
         self.dups_suppressed = 0
         self.frames_lost = 0
@@ -135,29 +169,21 @@ class LinkLayerStats:
         return f"LinkLayerStats({body})"
 
 
-class _Pending:
-    """Sender-side record of one unacknowledged frame."""
-
-    __slots__ = ("frame", "retries", "due")
-
-    def __init__(self, frame: DataFrame, due: int) -> None:
-        self.frame = frame
-        self.retries = 0
-        self.due = due
-
-
 class _SenderLink:
     """Send half of a directed link: next seq + retransmit buffer.
 
-    ``unacked`` maps seq -> :class:`_Pending`; insertion order is ascending
-    sequence number, which makes cumulative-ack retirement a prefix pop.
+    ``unacked`` maps seq -> :class:`DataFrame` (the frame *is* the
+    retransmit record); insertion order is ascending sequence number,
+    which makes cumulative-ack retirement a prefix pop.
     """
 
-    __slots__ = ("next_seq", "unacked")
+    __slots__ = ("src", "dst", "next_seq", "unacked")
 
-    def __init__(self) -> None:
+    def __init__(self, src: int, dst: int) -> None:
+        self.src = src
+        self.dst = dst
         self.next_seq = 0
-        self.unacked: Dict[int, _Pending] = {}
+        self.unacked: Dict[int, DataFrame] = {}
 
 
 class _ReceiverLink:
@@ -187,6 +213,13 @@ class ReliableDelivery:
         "_frames",
         "_frames_in_flight",
         "_unacked_total",
+        "_timers",
+        "_ack_owed",
+        "_reliable_links",
+        "_latency_fn",
+        "_skip_timers",
+        "_virtual",
+        "_retire",
     )
 
     def __init__(self, machine: "Machine", config: Optional[ReliabilityConfig] = None):
@@ -195,10 +228,41 @@ class ReliableDelivery:
         self.stats = LinkLayerStats()
         self._senders: Dict[LinkKey, _SenderLink] = {}
         self._receivers: Dict[LinkKey, _ReceiverLink] = {}
-        #: frames in flight: arrival step -> [(src, dst, frame)]
-        self._frames: Dict[int, List[Tuple[int, int, Union[DataFrame, AckFrame]]]] = {}
+        #: frames in flight: arrival step -> flat [src, dst, frame, ...]
+        self._frames: Dict[int, List[Any]] = {}
         self._frames_in_flight = 0
         self._unacked_total = 0
+        #: timer wheel: due step -> flat [link, seq, link, seq, ...];
+        #: entries whose frame was acked or rescheduled are skipped when
+        #: the bucket fires (the frame's ``due`` is authoritative)
+        self._timers: Dict[int, List[Any]] = {}
+        #: links owed a cumulative ack this step: (receiver, sender) ->
+        #: _ReceiverLink (framed mode) or arrival count (virtual mode);
+        #: drained by piggybacking or ``end_step``
+        self._ack_owed: Dict[LinkKey, Any] = {}
+        # Cached channel properties (fixed for the machine's lifetime):
+        # clean links skip the fault-model draw per frame entirely.
+        self._reliable_links = machine._faults.is_reliable
+        self._latency_fn = machine._latency_fn
+        # On a clean zero-latency link the ack for a frame sent at step t
+        # arrives at t+2, and arrivals are processed before timers, so the
+        # earliest timer (due t+2 at timeout=1) is always stale when its
+        # bucket fires.  The timer can provably never fire — skip arming
+        # it.  (With latency the round trip can exceed the timeout and
+        # spurious retransmits are real behaviour, so timers stay on.)
+        self._skip_timers = self._reliable_links and self._latency_fn is None
+        # On a clean zero-latency link with no telemetry bus the whole
+        # frame lifecycle is deterministic, so it is *virtualized*: the
+        # envelope itself travels the flight bucket (no DataFrame), acks
+        # reduce to per-link arrival counters in ``_ack_owed`` (int, not
+        # _ReceiverLink), and retirement becomes a scheduled counter
+        # decrement in ``_retire`` ({step: [frames, acks]}).  Every stat
+        # and the ``pending`` zero/non-zero sequence are identical to the
+        # framed protocol; only ``link_state`` loses its mid-run per-link
+        # breakdown (it reports from the frame-level dicts, which the
+        # virtual path never populates).
+        self._virtual = self._skip_timers and machine._telemetry is None
+        self._retire: Dict[int, List[int]] = {}
 
     # -- machine-facing surface -----------------------------------------
 
@@ -208,183 +272,390 @@ class ReliableDelivery:
 
         The machine keeps stepping while this is non-zero, so a run only
         goes quiescent once every payload is delivered *and* acknowledged.
+        (``end_step`` leaves no deferred acks behind: every owed ack is in
+        flight by the time the machine checks quiescence.)
         """
         return self._unacked_total + self._frames_in_flight
 
     def send(self, src: int, dst: int, payload: Any) -> None:
         """Accept one logical send from the machine's send path."""
         m = self._machine
+        step = m.current_step
+        if self._virtual:
+            # virtual clean path (see __init__): the envelope IS the frame
+            env = Envelope(src, dst, payload, step, m._next_msg_id)
+            m._next_msg_id += 1
+            stats = self.stats
+            stats.data_sent += 1
+            self._unacked_total += 1
+            owed = self._ack_owed
+            if owed:
+                n = owed.pop((src, dst), None)
+                if n is not None:
+                    # piggyback: the ack we owe dst rides this frame and
+                    # lands (retiring dst's n frames) next step — the same
+                    # step a standalone end-of-step ack would land
+                    stats.acks_piggybacked += 1
+                    retire = self._retire
+                    b = retire.get(step + 1)
+                    if b is None:
+                        b = retire[step + 1] = [0, 0]
+                    b[0] += n
+                    b[1] += 1
+            frames = self._frames
+            key = step + 1
+            fbucket = frames.get(key)
+            if fbucket is None:
+                fbucket = frames[key] = []
+            fbucket.append(src)
+            fbucket.append(dst)
+            fbucket.append(env)
+            self._frames_in_flight += 1
+            return
         link = self._senders.get((src, dst))
         if link is None:
-            link = self._senders[(src, dst)] = _SenderLink()
+            link = self._senders[(src, dst)] = _SenderLink(src, dst)
         seq = link.next_seq
         link.next_seq = seq + 1
-        env = Envelope(src, dst, payload, m.current_step, m._next_msg_id)
+        env = Envelope(src, dst, payload, step, m._next_msg_id)
         m._next_msg_id += 1
         frame = DataFrame(seq, env)
-        link.unacked[seq] = _Pending(frame, m.current_step + 1 + self.config.timeout)
+        owed = self._ack_owed
+        if owed:
+            rl = owed.pop((src, dst), None)
+            if rl is not None:
+                # piggyback the cumulative ack we owe dst on this frame
+                cum = rl.expected - 1
+                frame.ack = cum
+                self.stats.acks_piggybacked += 1
+                tel = m._telemetry
+                if tel is not None:
+                    tel.count(1, "ack")
+                    if tel.want_events:
+                        tel.record(
+                            step, 1, "ack", src,
+                            None, {"dst": dst, "cum": cum, "piggyback": True},
+                        )
+        link.unacked[seq] = frame
         self._unacked_total += 1
         self.stats.data_sent += 1
+        if self._skip_timers:
+            # Clean zero-latency link: no timer to arm (see __init__) and
+            # the channel is trivial — one copy, one-step flight.  Inline
+            # the transmit to keep the per-message cost at two dict ops
+            # and three list appends.
+            frames = self._frames
+            key = step + 1
+            fbucket = frames.get(key)
+            if fbucket is None:
+                fbucket = frames[key] = []
+            fbucket.append(src)
+            fbucket.append(dst)
+            fbucket.append(frame)
+            self._frames_in_flight += 1
+            return
+        due = step + 1 + self.config.timeout
+        frame.due = due
+        timers = self._timers
+        bucket = timers.get(due)
+        if bucket is None:
+            bucket = timers[due] = []
+        bucket.append(link)
+        bucket.append(seq)
         self._transmit(src, dst, frame)
 
     def on_step(self, step: int) -> None:
-        """Land matured frames, then retransmit everything overdue.
+        """Land matured frames, then fire the retransmit timers due now.
 
         Called by the machine at the start of every step, before the
         delivery snapshot — payloads released here are deliverable within
         the same step, matching the latency of an unprotected send.
         """
-        arrivals = self._frames.pop(step, None)
-        if arrivals is not None:
-            self._frames_in_flight -= len(arrivals)
-            for src, dst, frame in arrivals:
-                if type(frame) is DataFrame:
-                    self._on_data(src, dst, frame, step)
-                else:
-                    self._on_ack(src, dst, frame, step)
-        self._retransmit_due(step)
+        if self._virtual:
+            if self._frames_in_flight:
+                arrivals = self._frames.pop(step, None)
+                if arrivals is not None:
+                    n = len(arrivals) // 3
+                    self._frames_in_flight -= n
+                    self.stats.delivered += n
+                    owed = self._ack_owed
+                    owed_get = owed.get
+                    enqueue = self._machine._enqueue
+                    it = iter(arrivals)
+                    for src, dst, env in zip(it, it, it):
+                        enqueue(dst, env)
+                        k = (dst, src)
+                        owed[k] = owed_get(k, 0) + 1
+            if self._retire:
+                b = self._retire.pop(step, None)
+                if b is not None:
+                    self._unacked_total -= b[0]
+                    self.stats.acks_received += b[1]
+            return
+        if self._frames_in_flight:
+            arrivals = self._frames.pop(step, None)
+            if arrivals is not None:
+                self._frames_in_flight -= len(arrivals) // 3
+                it = iter(arrivals)
+                for src, dst, frame in zip(it, it, it):
+                    if type(frame) is DataFrame:
+                        self._on_data(src, dst, frame, step)
+                    else:
+                        self._on_ack(src, dst, frame, step)
+        if self._timers:
+            bucket = self._timers.pop(step, None)
+            if bucket is not None:
+                self._fire_timers(bucket, step)
+
+    def end_step(self) -> None:
+        """Flush deferred acknowledgements at the step boundary.
+
+        One cumulative :class:`AckFrame` per link that received data this
+        step and did not piggyback its ack on reverse traffic.  The ack
+        leaves in the same step the data arrived (arrival next step), so
+        round-trip timing is identical to acking each frame on arrival.
+        """
+        owed = self._ack_owed
+        if not owed:
+            return
+        if self._virtual:
+            # one standalone cumulative ack per owed link, as counters:
+            # each retires that link's arrivals from this step, next step
+            stats = self.stats
+            stats.acks_sent += len(owed)
+            retire = self._retire
+            key = self._machine.current_step + 1
+            b = retire.get(key)
+            if b is None:
+                b = retire[key] = [0, 0]
+            nf = 0
+            for n in owed.values():
+                nf += n
+            b[0] += nf
+            b[1] += len(owed)
+            owed.clear()
+            return
+        m = self._machine
+        step = m.current_step
+        tel = m._telemetry
+        stats = self.stats
+        if self._skip_timers:
+            # clean zero-latency links: all acks land next step — share
+            # one flight bucket and skip the per-frame channel call
+            frames = self._frames
+            key = step + 1
+            fbucket = frames.get(key)
+            if fbucket is None:
+                fbucket = frames[key] = []
+            for (src, dst), rl in owed.items():
+                cum = rl.expected - 1
+                stats.acks_sent += 1
+                if tel is not None:
+                    tel.count(1, "ack")
+                    if tel.want_events:
+                        tel.record(step, 1, "ack", src, None, {"dst": dst, "cum": cum})
+                fbucket.append(src)
+                fbucket.append(dst)
+                fbucket.append(AckFrame(cum))
+            self._frames_in_flight += len(owed)
+            owed.clear()
+            return
+        for (src, dst), rl in owed.items():
+            cum = rl.expected - 1
+            stats.acks_sent += 1
+            if tel is not None:
+                tel.count(1, "ack")
+                if tel.want_events:
+                    tel.record(step, 1, "ack", src, None, {"dst": dst, "cum": cum})
+            self._transmit(src, dst, AckFrame(cum))
+        owed.clear()
 
     # -- channel ---------------------------------------------------------
 
-    def _transmit(
-        self, src: int, dst: int, frame: Union[DataFrame, AckFrame]
-    ) -> None:
+    def _transmit(self, src: int, dst: int, frame: Any) -> None:
         """Push one frame through the lossy/latent channel."""
         m = self._machine
-        copies = m._faults.copies_to_deliver()
-        if copies == 0:
-            self.stats.frames_lost += 1
-            tel = m._telemetry
-            if tel is not None:
-                tel.emit(1, "drop", m.current_step, dst, attrs={"reason": "link"})
-            return
-        latency_fn = m._latency_fn
+        if self._reliable_links:
+            copies = 1
+        else:
+            copies = m._faults.copies_to_deliver()
+            if copies == 0:
+                self.stats.frames_lost += 1
+                tel = m._telemetry
+                if tel is not None:
+                    tel.emit(1, "drop", m.current_step, dst, attrs={"reason": "link"})
+                return
+        latency_fn = self._latency_fn
         # external endpoints (src/dst -1) have no physical link to model
         delay = 0 if (latency_fn is None or src < 0 or dst < 0) else latency_fn(src, dst)
-        bucket = self._frames.setdefault(m.current_step + 1 + delay, [])
-        for _ in range(copies):
-            bucket.append((src, dst, frame))
+        frames = self._frames
+        key = m.current_step + 1 + delay
+        bucket = frames.get(key)
+        if bucket is None:
+            bucket = frames[key] = []
+        bucket.append(src)
+        bucket.append(dst)
+        bucket.append(frame)
+        if copies > 1:
+            for _ in range(copies - 1):
+                bucket.append(src)
+                bucket.append(dst)
+                bucket.append(frame)
         self._frames_in_flight += copies
 
     # -- receive side -----------------------------------------------------
 
     def _on_data(self, src: int, dst: int, frame: DataFrame, step: int) -> None:
+        cum = frame.ack
+        if cum >= 0:
+            # piggybacked ack for the reverse direction: data we (dst)
+            # sent to src earlier is being acknowledged
+            self._apply_cum_ack(dst, src, cum, step)
         rl = self._receivers.get((src, dst))
         if rl is None:
             rl = self._receivers[(src, dst)] = _ReceiverLink()
         seq = frame.seq
-        tel = self._machine._telemetry
-        if seq == rl.expected:
-            self._release(dst, frame.env)
-            rl.expected += 1
-            # a gap just closed: drain any buffered successors in order
+        expected = rl.expected
+        stats = self.stats
+        if seq == expected:
+            stats.delivered += 1
+            enqueue = self._machine._enqueue
+            enqueue(dst, frame.env)
+            expected += 1
             buffer = rl.buffer
-            while rl.expected in buffer:
-                self._release(dst, buffer.pop(rl.expected))
-                rl.expected += 1
-        elif seq > rl.expected:
+            if buffer:
+                # a gap just closed: drain buffered successors in order
+                while expected in buffer:
+                    stats.delivered += 1
+                    enqueue(dst, buffer.pop(expected))
+                    expected += 1
+            rl.expected = expected
+        elif seq > expected:
             if seq in rl.buffer:
                 self._suppress(src, dst, seq, step)
             else:
                 rl.buffer[seq] = frame.env
         else:
             self._suppress(src, dst, seq, step)
-        # Cumulative ack after every data frame — duplicates included, so a
-        # lost ack is repaired by the retransmission it provokes.
-        cum = rl.expected - 1
-        self.stats.acks_sent += 1
-        if tel is not None:
-            tel.emit(1, "ack", step, dst, attrs={"dst": src, "cum": cum})
-        self._transmit(dst, src, AckFrame(cum))
-
-    def _release(self, dst: int, env: "Envelope") -> None:
-        """Hand one in-order payload to the destination inbox."""
-        self.stats.delivered += 1
-        self._machine._enqueue(dst, env)
+        # Defer the cumulative ack to the step boundary (or to a
+        # reverse-direction data frame sent this step, which piggybacks
+        # it).  Duplicates re-arm the owed entry, so a lost ack is still
+        # repaired by the retransmission it provokes.
+        self._ack_owed[(dst, src)] = rl
 
     def _suppress(self, src: int, dst: int, seq: int, step: int) -> None:
         self.stats.dups_suppressed += 1
         tel = self._machine._telemetry
         if tel is not None:
-            tel.emit(1, "dedup", step, dst, attrs={"src": src, "seq": seq})
+            tel.count(1, "dedup")
+            if tel.want_events:
+                tel.record(step, 1, "dedup", dst, None, {"src": src, "seq": seq})
 
     # -- send side ---------------------------------------------------------
 
     def _on_ack(self, src: int, dst: int, frame: AckFrame, step: int) -> None:
         # the ack travelled receiver -> sender, so the sender link is (dst, src)
-        link = self._senders.get((dst, src))
+        self._apply_cum_ack(dst, src, frame.cum, step)
+
+    def _apply_cum_ack(self, src: int, dst: int, cum: int, step: int) -> None:
+        """Retire every frame with seq <= ``cum`` on sender link src->dst."""
         self.stats.acks_received += 1
+        link = self._senders.get((src, dst))
         if link is None:  # pragma: no cover - defensive; acks imply a sender
             return
         unacked = link.unacked
-        cum = frame.cum
+        if not unacked:
+            return
         tel = self._machine._telemetry
+        if next(reversed(unacked)) <= cum:
+            # the cumulative ack covers the whole buffer (the common case
+            # on a clean link): retire it wholesale
+            n = len(unacked)
+            if tel is None:
+                unacked.clear()
+                self._unacked_total -= n
+                return
+            if self._skip_timers and not tel.want_events:
+                # clean links never retransmit, so every retry count is 0:
+                # one coalesced observation replaces n identical ones
+                unacked.clear()
+                self._unacked_total -= n
+                tel.observe(1, "link_retries", 0, n)
+                return
+        retired = 0
         while unacked:
             seq = next(iter(unacked))
             if seq > cum:
                 break
-            entry = unacked.pop(seq)
-            self._unacked_total -= 1
+            frame_ = unacked.pop(seq)
+            retired += 1
             if tel is not None:
-                # span event: dur = retransmissions this frame needed, so the
-                # metrics dump grows a retry-count histogram
-                # (l1.link_retries.steps)
-                tel.emit(
-                    1,
-                    "link_retries",
-                    step,
-                    dst,
-                    dur=entry.retries,
-                    attrs={"dst": src, "seq": seq},
-                )
+                # span observation: value = retransmissions this frame
+                # needed, so the metrics dump grows a retry-count
+                # histogram (l1.link_retries.steps)
+                tel.observe(1, "link_retries", frame_.retries)
+                if tel.want_events:
+                    tel.record(
+                        step, 1, "link_retries", src,
+                        frame_.retries, {"dst": dst, "seq": seq},
+                    )
+        if retired:
+            self._unacked_total -= retired
 
-    def _retransmit_due(self, step: int) -> None:
+    def _fire_timers(self, bucket: List[Any], step: int) -> None:
+        """Handle one timer-wheel bucket: retransmit or give up."""
         cfg = self.config
         stats = self.stats
-        tel = self._machine._telemetry
-        for (src, dst), link in self._senders.items():
-            unacked = link.unacked
-            if not unacked:
+        m = self._machine
+        timers = self._timers
+        for i in range(0, len(bucket), 2):
+            link: _SenderLink = bucket[i]
+            seq: int = bucket[i + 1]
+            frame = link.unacked.get(seq)
+            if frame is None or frame.due != step:
+                # already acked, or rescheduled by an earlier backoff
                 continue
-            for seq in list(unacked):
-                entry = unacked[seq]
-                if entry.due > step:
-                    continue
-                if entry.retries >= cfg.retry_limit:
-                    stats.exhausted += 1
-                    if cfg.on_exhausted == "raise":
-                        raise ReliabilityError(
-                            f"link {src}->{dst} gave up on seq {seq} after "
-                            f"{entry.retries} retransmissions (retry_limit="
-                            f"{cfg.retry_limit}); raise the cap or lower the "
-                            f"fault rate"
-                        )
-                    del unacked[seq]
-                    self._unacked_total -= 1
-                    self._machine._record_drop(dst, "retry_exhausted")
-                    if tel is not None:
-                        tel.emit(
-                            1,
-                            "link_retries",
-                            step,
-                            src,
-                            dur=entry.retries,
-                            attrs={"dst": dst, "seq": seq, "gave_up": True},
-                        )
-                    continue
-                entry.retries += 1
-                stats.retransmits += 1
-                wait = cfg.timeout * (cfg.backoff ** entry.retries)
-                entry.due = step + max(1, min(int(wait), cfg.max_timeout))
-                if tel is not None:
-                    tel.emit(
-                        1,
-                        "retransmit",
-                        step,
-                        src,
-                        attrs={"dst": dst, "seq": seq, "retry": entry.retries},
+            tel = m._telemetry
+            if frame.retries >= cfg.retry_limit:
+                stats.exhausted += 1
+                src, dst = link.src, link.dst
+                if cfg.on_exhausted == "raise":
+                    raise ReliabilityError(
+                        f"link {src}->{dst} gave up on seq {seq} after "
+                        f"{frame.retries} retransmissions (retry_limit="
+                        f"{cfg.retry_limit}); raise the cap or lower the "
+                        f"fault rate"
                     )
-                self._transmit(src, dst, entry.frame)
+                del link.unacked[seq]
+                self._unacked_total -= 1
+                m._record_drop(dst, "retry_exhausted")
+                if tel is not None:
+                    tel.observe(1, "link_retries", frame.retries)
+                    if tel.want_events:
+                        tel.record(
+                            step, 1, "link_retries", src, frame.retries,
+                            {"dst": dst, "seq": seq, "gave_up": True},
+                        )
+                continue
+            retries = frame.retries + 1
+            frame.retries = retries
+            stats.retransmits += 1
+            wait = cfg.timeout * (cfg.backoff ** retries)
+            due = step + max(1, min(int(wait), cfg.max_timeout))
+            frame.due = due
+            nbucket = timers.get(due)
+            if nbucket is None:
+                nbucket = timers[due] = []
+            nbucket.append(link)
+            nbucket.append(seq)
+            if tel is not None:
+                tel.count(1, "retransmit")
+                if tel.want_events:
+                    tel.record(
+                        step, 1, "retransmit", link.src,
+                        None, {"dst": link.dst, "seq": seq, "retry": retries},
+                    )
+            self._transmit(link.src, link.dst, frame)
 
     # -- inspection --------------------------------------------------------
 

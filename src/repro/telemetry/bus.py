@@ -7,19 +7,62 @@ Design constraints (in priority order):
    ``if self._telemetry is not None`` — no bus, no event objects, no calls.
    The layer-1 fast send path (see ``repro/netsim/backend.py``) stays the
    PR-1 optimized code with exactly one extra local ``is None`` test.
-2. **Cheap when enabled.**  ``emit`` allocates one
-   :class:`~repro.telemetry.events.TelemetryEvent` and calls each
-   subscriber's handler directly (bound methods are cached at subscribe
-   time, no per-event dispatch logic).
+2. **Cheap when enabled.**  The bus exposes two publishing surfaces:
+
+   * ``emit`` — the original per-event path: allocate one
+     :class:`~repro.telemetry.events.TelemetryEvent` and call every
+     subscriber's handler (bound methods cached at subscribe time).  Used
+     for rare events (drops, probes, layer 2-5 lifecycle) where per-event
+     dispatch cost is irrelevant.
+   * the **hot-path batch surface** — ``count`` / ``observe`` coalesce
+     per-message increments into per-step deltas delivered to aggregating
+     subscribers in one call per step, and ``record`` appends event
+     *tuples* to a preallocated ring buffer that is materialised into
+     :class:`TelemetryEvent` objects only when flushed to subscribers that
+     actually retain events.  ``flush`` (called by the machine at every
+     step boundary) drains all three.  No per-message event object, no
+     per-message handler call, no per-message metric-name formatting.
+
 3. **Deterministic.**  Subscribers are invoked in subscription order,
    synchronously, on the simulation thread; the event stream is a pure
    function of the run (same seed => same events), which is what lets the
-   exporter golden tests pin byte-identical traces.
+   exporter golden tests pin byte-identical traces.  ``emit`` flushes the
+   ring first, so the merged stream seen by event subscribers stays in
+   publication order.
+
+Subscriber classification
+-------------------------
+
+At attach time the bus inspects each subscriber once:
+
+* ``needs_events`` (class attribute, default ``True``) — subscribers that
+  declare ``needs_events = False`` (e.g.
+  :class:`~repro.telemetry.MetricsSubscriber`) are *not* fed ring-buffered
+  events; they consume the coalesced deltas instead.  ``emit`` still
+  reaches every subscriber.
+* ``on_counters(deltas)`` — receives the ``{(layer, name): n}`` counter
+  deltas at every flush;
+* ``on_observations(deltas)`` — receives the
+  ``{(layer, name, value): n}`` coalesced histogram observations.
+
+A publisher must route each observation through *either* ``emit`` *or* the
+batch surface, never both — ``count``/``record`` form one logical event
+split across the two audiences (aggregators see the count, event retainers
+see the tuple).
+
+Sampling
+--------
+
+``sample_every=N`` keeps every ``N``-th ``record`` call (deterministic
+counter, not random), trading trace completeness for proportionally less
+ring traffic.  Counters and observations are never sampled — metrics stay
+exact at any sampling rate.  The default ``1`` records everything, which
+the trace-subsumption tests rely on.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .events import TelemetryEvent
 
@@ -39,17 +82,66 @@ class TelemetryBus:
         log = bus.attach(EventLog())
         exporter = bus.attach(ChromeTraceExporter())
         stack = HyperspaceStack(topology, telemetry=bus)
+
+    Parameters
+    ----------
+    sample_every:
+        Keep one in every ``sample_every`` ``record`` calls (default 1 =
+        keep all).  Deterministic; applies only to the ring-buffered event
+        stream, never to counters/observations.
+    ring_size:
+        Capacity of the preallocated event-tuple ring.  The ring flushes
+        when full and at every ``flush``/``emit``, so the size only tunes
+        batching granularity, never drops events.
     """
 
-    __slots__ = ("_subscribers", "_handlers", "events_emitted")
+    __slots__ = (
+        "_subscribers",
+        "_handlers",
+        "_event_handlers",
+        "_counter_subs",
+        "_observation_subs",
+        "events_emitted",
+        "sample_every",
+        "_sample_skip",
+        "want_events",
+        "_counts",
+        "_observations",
+        "_ring",
+        "_ring_n",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, *, sample_every: int = 1, ring_size: int = 1024) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
         #: attached subscriber objects/callables, in subscription order
         self._subscribers: List[Any] = []
         #: resolved per-event handlers (parallel to ``_subscribers``)
         self._handlers: List[Subscriber] = []
-        #: total events published (cheap health/overhead indicator)
+        #: handlers of subscribers that retain events (``needs_events``)
+        self._event_handlers: List[Subscriber] = []
+        #: bound ``on_counters`` methods of aggregating subscribers
+        self._counter_subs: List[Callable] = []
+        #: bound ``on_observations`` methods of aggregating subscribers
+        self._observation_subs: List[Callable] = []
+        #: total events published (cheap health/overhead indicator);
+        #: coalesced counter deltas are not events and do not count
         self.events_emitted = 0
+        self.sample_every = sample_every
+        self._sample_skip = 0
+        #: True when at least one subscriber retains events — publishers
+        #: check this before building ``record`` arguments
+        self.want_events = False
+        #: coalesced counter deltas: (layer, name) -> n since last flush
+        self._counts: Dict[Tuple[int, str], int] = {}
+        #: coalesced histogram observations: (layer, name, value) -> n
+        self._observations: Dict[Tuple[int, str, int], int] = {}
+        #: preallocated ring of event tuples (step, layer, name, node,
+        #: dur, attrs); ``_ring_n`` is the fill level
+        self._ring: List[Any] = [None] * ring_size
+        self._ring_n = 0
 
     # -- subscription ---------------------------------------------------
 
@@ -68,6 +160,7 @@ class TelemetryBus:
             handler = subscriber
         self._subscribers.append(subscriber)
         self._handlers.append(handler)
+        self._reclassify()
         return subscriber
 
     def detach(self, subscriber: Any) -> None:
@@ -78,13 +171,30 @@ class TelemetryBus:
             return
         del self._subscribers[i]
         del self._handlers[i]
+        self._reclassify()
+
+    def _reclassify(self) -> None:
+        """Rebuild the per-audience dispatch lists from the subscriber set."""
+        self._event_handlers = []
+        self._counter_subs = []
+        self._observation_subs = []
+        for sub, handler in zip(self._subscribers, self._handlers):
+            if getattr(sub, "needs_events", True):
+                self._event_handlers.append(handler)
+            on_counters = getattr(sub, "on_counters", None)
+            if on_counters is not None:
+                self._counter_subs.append(on_counters)
+            on_observations = getattr(sub, "on_observations", None)
+            if on_observations is not None:
+                self._observation_subs.append(on_observations)
+        self.want_events = bool(self._event_handlers)
 
     @property
     def subscribers(self) -> List[Any]:
         """Attached subscribers (subscription order, read-only copy)."""
         return list(self._subscribers)
 
-    # -- publishing -----------------------------------------------------
+    # -- publishing: per-event path -------------------------------------
 
     def emit(
         self,
@@ -96,6 +206,8 @@ class TelemetryBus:
         attrs: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Publish one event to every subscriber, in subscription order."""
+        if self._ring_n:
+            self._flush_ring()
         ev = TelemetryEvent(step, layer, name, node, dur, attrs)
         self.events_emitted += 1
         for handler in self._handlers:
@@ -103,6 +215,96 @@ class TelemetryBus:
 
     def emit_event(self, event: TelemetryEvent) -> None:
         """Publish a pre-built event (relays, adapters)."""
+        if self._ring_n:
+            self._flush_ring()
         self.events_emitted += 1
         for handler in self._handlers:
             handler(event)
+
+    # -- publishing: hot-path batch surface ------------------------------
+
+    def count(self, layer: int, name: str, n: int = 1) -> None:
+        """Coalesce ``n`` occurrences of ``l{layer}.{name}`` until flush."""
+        key = (layer, name)
+        counts = self._counts
+        counts[key] = counts.get(key, 0) + n
+
+    def observe(self, layer: int, name: str, value: int, n: int = 1) -> None:
+        """Coalesce ``n`` histogram observations of ``value`` until flush.
+
+        The matching counter ``l{layer}.{name}`` is bumped implicitly by
+        the aggregating subscriber, mirroring how a span ``emit`` both
+        counts and observes.
+        """
+        key = (layer, name, value)
+        obs = self._observations
+        obs[key] = obs.get(key, 0) + n
+
+    def record(
+        self,
+        step: int,
+        layer: int,
+        name: str,
+        node: int = -1,
+        dur: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Append one event tuple to the ring (subject to sampling).
+
+        Only meaningful when :attr:`want_events` — publishers guard the
+        call (and the ``attrs`` construction) behind that flag.
+        """
+        skip = self._sample_skip
+        if skip:
+            self._sample_skip = skip - 1
+            return
+        self._sample_skip = self.sample_every - 1
+        ring = self._ring
+        n = self._ring_n
+        ring[n] = (step, layer, name, node, dur, attrs)
+        n += 1
+        if n == len(ring):
+            self._ring_n = n
+            self._flush_ring()
+        else:
+            self._ring_n = n
+
+    def _flush_ring(self) -> None:
+        """Materialise ring tuples into events for the retaining audience."""
+        n = self._ring_n
+        self._ring_n = 0
+        self.events_emitted += n
+        handlers = self._event_handlers
+        if not handlers:
+            return
+        ring = self._ring
+        if len(handlers) == 1:
+            handler = handlers[0]
+            for i in range(n):
+                t = ring[i]
+                handler(TelemetryEvent(t[0], t[1], t[2], t[3], t[4], t[5]))
+        else:
+            for i in range(n):
+                t = ring[i]
+                ev = TelemetryEvent(t[0], t[1], t[2], t[3], t[4], t[5])
+                for handler in handlers:
+                    handler(ev)
+
+    def flush(self) -> None:
+        """Drain the ring, counter deltas and observations to subscribers.
+
+        The machine calls this at every step boundary; direct users of the
+        batch surface call it before reading aggregated state.
+        """
+        if self._ring_n:
+            self._flush_ring()
+        counts = self._counts
+        if counts:
+            for fn in self._counter_subs:
+                fn(counts)
+            counts.clear()
+        obs = self._observations
+        if obs:
+            for fn in self._observation_subs:
+                fn(obs)
+            obs.clear()

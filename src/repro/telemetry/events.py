@@ -2,10 +2,20 @@
 
 Every layer of the stack publishes :class:`TelemetryEvent` values to a
 :class:`~repro.telemetry.bus.TelemetryBus`.  An event is deliberately tiny —
-five slots, no inheritance — because a traced simulation can emit one event
+six slots, no inheritance — because a traced simulation can emit one event
 per message send *and* per delivery; the whole pipeline is built so that a
 simulation with **no** bus attached pays exactly one ``is None`` check per
-potential event (see ``docs/observability.md`` for measured overhead).
+potential event (see ``docs/observability.md`` and ``docs/performance.md``
+for measured overhead).
+
+Hot-path events (layer-1 ``send`` / ``deliver`` and the reliability
+counters) do not pass through ``__init__`` individually: publishers stage
+them as plain ``(step, layer, name, node, dur, attrs)`` tuples in the bus's
+ring buffer — the slot order matches this class's constructor — and the bus
+materialises :class:`TelemetryEvent` objects in batches, only when a
+subscriber actually retains events.  Aggregating subscribers (metrics)
+never see per-message objects at all; they consume coalesced per-step
+deltas (see :mod:`repro.telemetry.bus`).
 
 Taxonomy (the full per-layer list lives in ``docs/observability.md``):
 

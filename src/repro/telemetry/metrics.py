@@ -98,17 +98,26 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.BOUNDS) + 1)
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
+        self.observe_n(value, 1)
+
+    def observe_n(self, value: float, n: int) -> None:
+        """Record ``n`` identical observations in one update.
+
+        The coalescing path of :class:`MetricsSubscriber` batches repeated
+        values (e.g. the zero-retry case of ``l1.link_retries``) into a
+        single bucket update per step instead of ``n``.
+        """
+        self.count += n
+        self.total += value * n
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
         for i, bound in enumerate(self.BOUNDS):
             if value <= bound:
-                self.bucket_counts[i] += 1
+                self.bucket_counts[i] += n
                 return
-        self.bucket_counts[-1] += 1
+        self.bucket_counts[-1] += n
 
     @property
     def mean(self) -> float:
@@ -178,12 +187,28 @@ class MetricsSubscriber:
     Every event bumps ``l{layer}.{name}`` (counter); spans additionally
     feed ``l{layer}.{name}.steps`` (histogram); counter-style events update
     the gauge ``l{layer}.{name}.level``.
+
+    This subscriber is a pure aggregator: it declares
+    ``needs_events = False``, so the bus excludes it from the ring-buffered
+    event stream and instead delivers the coalesced per-step counter and
+    observation deltas through :meth:`on_counters` /
+    :meth:`on_observations` — one call and one cached metric lookup per
+    distinct name per step, instead of an f-string plus registry lookup
+    per message.  ``emit``-published events still arrive via
+    :meth:`on_event` exactly as before.
     """
 
-    __slots__ = ("registry",)
+    __slots__ = ("registry", "_counter_cache", "_hist_cache")
+
+    #: aggregates deltas; never needs the materialised event stream
+    needs_events = False
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: (layer, name) -> Counter, resolved once per distinct key
+        self._counter_cache: Dict[Any, Counter] = {}
+        #: (layer, name) -> (Counter, Histogram) for observation keys
+        self._hist_cache: Dict[Any, Any] = {}
 
     def on_event(self, event: TelemetryEvent) -> None:
         base = f"l{event.layer}.{event.name}"
@@ -195,6 +220,35 @@ class MetricsSubscriber:
             value = attrs.get("value")
             if value is not None:
                 self.registry.gauge(base + ".level").set(value)
+
+    def on_counters(self, deltas: Dict[Any, int]) -> None:
+        """Apply one step's coalesced ``{(layer, name): n}`` deltas."""
+        cache = self._counter_cache
+        for key, n in deltas.items():
+            counter = cache.get(key)
+            if counter is None:
+                counter = cache[key] = self.registry.counter(
+                    f"l{key[0]}.{key[1]}"
+                )
+            counter.value += n
+
+    def on_observations(self, deltas: Dict[Any, int]) -> None:
+        """Apply coalesced ``{(layer, name, value): n}`` span observations.
+
+        Mirrors the ``emit`` span treatment: each observation bumps the
+        base counter and feeds the ``.steps`` histogram.
+        """
+        cache = self._hist_cache
+        for (layer, name, value), n in deltas.items():
+            pair = cache.get((layer, name))
+            if pair is None:
+                base = f"l{layer}.{name}"
+                pair = cache[(layer, name)] = (
+                    self.registry.counter(base),
+                    self.registry.histogram(base + ".steps"),
+                )
+            pair[0].value += n
+            pair[1].observe_n(value, n)
 
     def as_dict(self) -> Dict[str, Dict[str, Any]]:
         return self.registry.as_dict()

@@ -25,15 +25,26 @@ class TestResolveJobs:
         monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
         assert resolve_jobs(None) == 1
 
-    def test_explicit_wins(self):
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         assert resolve_jobs(5) == 5
+
+    def test_capped_at_host_cores(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert resolve_jobs(16) == 2
 
     def test_zero_means_all_cores(self):
         assert resolve_jobs(0) == (os.cpu_count() or 1)
 
     def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         monkeypatch.setenv(JOBS_ENV_VAR, "7")
         assert resolve_jobs(None) == 7
+
+    def test_env_var_capped_at_host_cores(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(None) == 2
 
     def test_env_auto(self, monkeypatch):
         monkeypatch.setenv(JOBS_ENV_VAR, "auto")
@@ -53,7 +64,9 @@ class TestRunTasks:
     def test_serial_order(self):
         assert run_tasks(_square, range(10), jobs=1) == [x * x for x in range(10)]
 
-    def test_parallel_matches_serial(self):
+    def test_parallel_matches_serial(self, monkeypatch):
+        # pin the core count so the pool path runs even on a 1-CPU host
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         tasks = list(range(23))
         assert run_tasks(_square, tasks, jobs=4) == run_tasks(_square, tasks, jobs=1)
 
@@ -63,11 +76,20 @@ class TestRunTasks:
     def test_empty_tasks(self):
         assert run_tasks(_square, [], jobs=4) == []
 
-    def test_chunksize_override(self):
+    def test_chunksize_override(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         tasks = list(range(11))
         assert run_tasks(_square, tasks, jobs=2, chunksize=1) == [
             x * x for x in tasks
         ]
+
+    def test_single_chunk_runs_serially(self, monkeypatch):
+        # a chunksize covering every task would go to one worker anyway,
+        # so no pool spawns — observable because the serial path re-raises
+        # the original exception instead of wrapping it in WorkerError
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        with pytest.raises(ValueError, match="boom at three"):
+            run_tasks(_fail_on_three, [1, 2, 3], jobs=2, chunksize=8)
 
     def test_env_var_drives_pool(self, monkeypatch):
         monkeypatch.setenv(JOBS_ENV_VAR, "2")
@@ -77,7 +99,8 @@ class TestRunTasks:
         with pytest.raises(ValueError, match="boom at three"):
             run_tasks(_fail_on_three, [1, 2, 3], jobs=1)
 
-    def test_worker_exception_propagates_with_traceback(self):
+    def test_worker_exception_propagates_with_traceback(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
         with pytest.raises(WorkerError) as exc_info:
             run_tasks(_fail_on_three, [0, 1, 2, 3, 4], jobs=2)
         err = exc_info.value

@@ -1,0 +1,161 @@
+"""The hot-path batch surface: coalesced counters, the event ring, sampling."""
+
+from repro.netsim import EMPTY_MSG, Machine
+from repro.telemetry import EventLog, MetricsSubscriber, TelemetryBus
+from repro.topology import Torus
+
+
+class _Forwarder:
+    def init(self, ctx):
+        ctx.state = 0
+
+    def on_message(self, ctx, sender, payload):
+        ctx.state += 1
+        ctx.send(ctx.neighbours[ctx.state & 3], payload)
+
+
+class _DeltaSpy:
+    """Aggregating subscriber that snapshots every batch it is handed."""
+
+    needs_events = False
+
+    def __init__(self):
+        self.counter_batches = []
+        self.observation_batches = []
+        self.emitted = []  # emit() reaches every subscriber, ring must not
+
+    def on_event(self, event):
+        self.emitted.append(event)
+
+    def on_counters(self, deltas):
+        self.counter_batches.append(dict(deltas))
+
+    def on_observations(self, deltas):
+        self.observation_batches.append(dict(deltas))
+
+
+class TestCoalescing:
+    def test_counts_held_until_flush(self):
+        bus = TelemetryBus()
+        spy = bus.attach(_DeltaSpy())
+        bus.count(1, "send")
+        bus.count(1, "send", 3)
+        bus.count(2, "hop")
+        assert spy.counter_batches == []  # nothing delivered yet
+        bus.flush()
+        assert spy.counter_batches == [{(1, "send"): 4, (2, "hop"): 1}]
+        bus.flush()  # empty flush delivers nothing
+        assert len(spy.counter_batches) == 1
+
+    def test_observations_coalesce_by_value(self):
+        bus = TelemetryBus()
+        spy = bus.attach(_DeltaSpy())
+        bus.observe(1, "link_retries", 0, 5)
+        bus.observe(1, "link_retries", 0)
+        bus.observe(1, "link_retries", 2)
+        bus.flush()
+        assert spy.observation_batches == [
+            {(1, "link_retries", 0): 6, (1, "link_retries", 2): 1}
+        ]
+
+    def test_machine_flushes_at_every_step_boundary(self):
+        bus = TelemetryBus()
+        spy = bus.attach(_DeltaSpy())
+        m = Machine(Torus((4, 4)), _Forwarder(), telemetry=bus)
+        for n in range(16):
+            m.inject(n, EMPTY_MSG)
+        assert spy.counter_batches == []  # injects coalesce, nothing flushed
+        m.step()  # all 16 kickstarts delivered, 16 forwards sent
+        assert len(spy.counter_batches) == 1
+        assert spy.counter_batches[-1][(1, "deliver")] == 16
+        # the first boundary also flushes the 16 pre-run inject sends
+        assert spy.counter_batches[-1][(1, "send")] == 32
+        m.step()
+        assert spy.counter_batches[-1][(1, "send")] == 16
+
+    def test_counter_totals_match_trace_exactly(self):
+        bus = TelemetryBus()
+        metrics = bus.attach(MetricsSubscriber())
+        m = Machine(Torus((4, 4)), _Forwarder(), telemetry=bus)
+        for n in range(16):
+            m.inject(n, EMPTY_MSG)
+        m.run(max_steps=50)
+        rep = m.report()
+        dump = metrics.registry.as_dict()
+        assert dump["l1.send"]["value"] == rep.sent_total
+        assert dump["l1.deliver"]["value"] == rep.delivered_total
+
+
+class TestRing:
+    def test_wraparound_loses_nothing(self):
+        # a tiny ring flushing many times must still deliver every record
+        bus = TelemetryBus(ring_size=4)
+        log = bus.attach(EventLog())
+        for i in range(10):
+            bus.record(step=i, layer=1, name="send", node=i)
+        bus.flush()
+        events = log.by_name("send", layer=1)
+        assert [e.node for e in events] == list(range(10))
+        assert bus.events_emitted == 10
+
+    def test_emit_flushes_ring_first(self):
+        # the merged stream event subscribers see stays in publication order
+        bus = TelemetryBus()
+        log = bus.attach(EventLog())
+        bus.record(step=0, layer=1, name="send", node=3)
+        bus.emit(1, "drop", step=0, node=4)
+        bus.record(step=0, layer=1, name="send", node=5)
+        bus.flush()
+        assert [(e.name, e.node) for e in log.events] == [
+            ("send", 3), ("drop", 4), ("send", 5),
+        ]
+
+    def test_ring_skipped_for_aggregating_audience(self):
+        # with no event-retaining subscriber the tuples still count as
+        # emitted but no event objects reach the aggregator
+        bus = TelemetryBus()
+        bus.attach(_DeltaSpy())
+        assert not bus.want_events
+        spy = bus.subscribers[0]
+        bus.record(step=0, layer=1, name="send", node=1)
+        bus.flush()
+        assert bus.events_emitted == 1
+        assert spy.emitted == []
+
+
+class TestSampling:
+    def test_deterministic_every_nth(self):
+        bus = TelemetryBus(sample_every=3)
+        log = bus.attach(EventLog())
+        for i in range(10):
+            bus.record(step=0, layer=1, name="send", node=i)
+        bus.flush()
+        kept = [e.node for e in log.by_name("send", layer=1)]
+        assert kept == [0, 3, 6, 9]
+
+    def test_two_identical_runs_sample_identically(self):
+        def run():
+            bus = TelemetryBus(sample_every=4)
+            log = bus.attach(EventLog())
+            for i in range(23):
+                bus.record(step=i, layer=1, name="send", node=i)
+            bus.flush()
+            return [e.node for e in log.events]
+
+        assert run() == run()
+
+    def test_sampling_never_touches_counters(self):
+        # metrics must stay exact at any sampling rate
+        bus = TelemetryBus(sample_every=7)
+        metrics = bus.attach(MetricsSubscriber())
+        log = bus.attach(EventLog())
+        m = Machine(Torus((4, 4)), _Forwarder(), telemetry=bus)
+        for n in range(16):
+            m.inject(n, EMPTY_MSG)
+        m.run(max_steps=30)
+        rep = m.report()
+        dump = metrics.registry.as_dict()
+        assert dump["l1.send"]["value"] == rep.sent_total
+        assert dump["l1.deliver"]["value"] == rep.delivered_total
+        # while the retained event stream is (roughly 7x) thinner
+        assert 0 < log.count("send", layer=1) < rep.sent_total

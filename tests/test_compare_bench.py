@@ -1,0 +1,136 @@
+"""The benchmark regression gate that backs the CI perf job."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_TOOL = pathlib.Path(__file__).resolve().parents[1] / "tools" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _TOOL)
+compare_bench = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("compare_bench", compare_bench)
+_spec.loader.exec_module(compare_bench)
+
+
+HOST = {"platform": "Linux-test", "cpu_count": 4, "python": "3.11.7"}
+
+
+def make_doc(storm=600_000, flood=300_000, sparse=90_000, metrics_pct=5.0,
+             clean_pct=40.0, combined_pct=45.0, host=HOST):
+    return {
+        "schema": "repro-bench-baseline/2",
+        "host": dict(host),
+        "microbenchmark": {
+            "storm_torus400": storm,
+            "flood_torus400": flood,
+            "sparse_torus256": sparse,
+        },
+        "telemetry_overhead": {
+            "storm_torus400": {
+                "metrics_overhead_pct": metrics_pct,
+                "full_trace_overhead_pct": metrics_pct + 50.0,
+            },
+            "sparse_torus256": {
+                "metrics_overhead_pct": metrics_pct,
+                "full_trace_overhead_pct": metrics_pct + 50.0,
+            },
+        },
+        "reliability_overhead": {
+            "on_clean_overhead_pct": clean_pct,
+            "on_faulty_overhead_pct": clean_pct + 20.0,
+        },
+        "protected_instrumented": {"overhead_pct": combined_pct},
+    }
+
+
+def statuses(rows):
+    return {r["key"]: r["status"] for r in rows}
+
+
+class TestCompare:
+    def test_identical_files_all_ok(self):
+        doc = make_doc()
+        rows = compare_bench.compare(doc, make_doc(), 10.0)
+        assert all(r["status"] == "ok" for r in rows)
+
+    def test_throughput_regression_beyond_limit_fails(self):
+        base, new = make_doc(storm=600_000), make_doc(storm=420_000)  # -30%
+        st = statuses(compare_bench.compare(base, new, 10.0))
+        assert st["microbenchmark.storm_torus400"] == "regressed"
+        assert st["microbenchmark.flood_torus400"] == "ok"
+
+    def test_throughput_noise_band_is_twice_max_regress(self):
+        # rates carry frequency-drift noise the ratio-based overheads
+        # cancel, so their default tolerance is 2x --max-regress
+        base, new = make_doc(storm=600_000), make_doc(storm=500_000)  # -16.7%
+        rows = compare_bench.compare(base, new, 10.0)
+        assert all(r["status"] == "ok" for r in rows)
+        st = statuses(compare_bench.compare(base, new, 10.0, 15.0))
+        assert st["microbenchmark.storm_torus400"] == "regressed"
+
+    def test_throughput_regression_within_limit_passes(self):
+        base, new = make_doc(storm=600_000), make_doc(storm=560_000)  # -6.7%
+        rows = compare_bench.compare(base, new, 10.0)
+        assert all(r["status"] == "ok" for r in rows)
+
+    def test_overhead_point_increase_fails(self):
+        base, new = make_doc(clean_pct=35.0), make_doc(clean_pct=48.0)  # +13pt
+        st = statuses(compare_bench.compare(base, new, 10.0))
+        assert st["reliability_overhead.on_clean_overhead_pct"] == "regressed"
+
+    def test_host_mismatch_skips_rates_but_compares_overheads(self):
+        other = dict(HOST, cpu_count=64)
+        base = make_doc()
+        new = make_doc(storm=100_000, clean_pct=70.0, host=other)
+        st = statuses(compare_bench.compare(base, new, 10.0))
+        assert st["microbenchmark.storm_torus400"] == "skipped"
+        assert st["reliability_overhead.on_clean_overhead_pct"] == "regressed"
+
+    def test_missing_key_is_skipped_not_failed(self):
+        base = make_doc()
+        del base["protected_instrumented"]  # e.g. older baseline schema
+        st = statuses(compare_bench.compare(base, make_doc(), 10.0))
+        assert st["protected_instrumented.overhead_pct"] == "skipped"
+
+    def test_improvement_is_ok(self):
+        base, new = make_doc(storm=400_000, clean_pct=70.0), make_doc()
+        rows = compare_bench.compare(base, new, 10.0)
+        assert all(r["status"] == "ok" for r in rows)
+
+
+class TestMain:
+    def write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        b = self.write(tmp_path, "base.json", make_doc())
+        n = self.write(tmp_path, "new.json", make_doc())
+        assert compare_bench.main(["--baseline", b, "--new", n]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_synthetic_regression(self, tmp_path, capsys):
+        # a synthetic >10pt overhead jump must fail the gate (the PR's
+        # acceptance pin; overheads gate at --max-regress on every host)
+        b = self.write(tmp_path, "base.json", make_doc(clean_pct=35.0))
+        n = self.write(tmp_path, "new.json", make_doc(clean_pct=48.0))
+        assert compare_bench.main(["--baseline", b, "--new", n]) != 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_synthetic_rate_collapse(self, tmp_path, capsys):
+        b = self.write(tmp_path, "base.json", make_doc(storm=600_000))
+        n = self.write(tmp_path, "new.json", make_doc(storm=400_000))  # -33%
+        assert compare_bench.main(["--baseline", b, "--new", n]) != 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_max_regress_flags_loosen_gate(self, tmp_path):
+        b = self.write(tmp_path, "base.json", make_doc(storm=600_000,
+                                                       clean_pct=35.0))
+        n = self.write(tmp_path, "new.json", make_doc(storm=400_000,
+                                                      clean_pct=48.0))
+        args = ["--baseline", b, "--new", n,
+                "--max-regress", "15", "--max-rate-regress", "40"]
+        assert compare_bench.main(args) == 0

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Compare two benchmark JSON files and fail on performance regressions.
+
+Used by the CI ``perf`` job: the committed ``BENCH_baseline.json`` is the
+reference, a fresh ``BENCH_pr.json`` recorded from the PR's checkout is
+the candidate, and any regression beyond ``--max-regress`` fails the
+build (non-zero exit).
+
+Two kinds of numbers are compared:
+
+* **throughput rates** (deliveries / steps per second, higher is better):
+  a regression is the relative drop ``100 * (baseline - new) / baseline``.
+  Absolute rates are machine-dependent, so they are compared only when
+  both files carry the same host fingerprint (platform string, CPU count,
+  Python version) — on a different host they are reported as skipped.
+  Even on the same host, absolute rates carry frequency-drift noise that
+  the ratio-based overheads cancel out, so rates get their own, looser
+  tolerance ``--max-rate-regress`` (default: twice ``--max-regress``);
+* **overhead percentages** (throughput lost to a subsystem, lower is
+  better): these are already relative to the same-host bare run, so they
+  are compared everywhere, as a percentage-point increase against
+  ``--max-regress``.
+
+Keys present in only one file (schema drift between baseline versions)
+are skipped with a note rather than failed, so a baseline refresh and a
+comparison-set change do not have to land in the same commit.
+
+Usage::
+
+    python tools/compare_bench.py --baseline BENCH_baseline.json \
+        --new BENCH_pr.json [--max-regress 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: (dotted path into the benchmark JSON, kind); kind ``rate`` = absolute
+#: throughput (higher is better, host-gated), ``pct`` = overhead
+#: percentage (lower is better, compared on every host)
+COMPARISONS: List[Tuple[str, str]] = [
+    ("microbenchmark.storm_torus400", "rate"),
+    ("microbenchmark.flood_torus400", "rate"),
+    ("microbenchmark.sparse_torus256", "rate"),
+    ("telemetry_overhead.storm_torus400.metrics_overhead_pct", "pct"),
+    ("telemetry_overhead.storm_torus400.full_trace_overhead_pct", "pct"),
+    ("telemetry_overhead.sparse_torus256.metrics_overhead_pct", "pct"),
+    ("telemetry_overhead.sparse_torus256.full_trace_overhead_pct", "pct"),
+    ("reliability_overhead.on_clean_overhead_pct", "pct"),
+    ("reliability_overhead.on_faulty_overhead_pct", "pct"),
+    ("protected_instrumented.overhead_pct", "pct"),
+]
+
+#: host fields that must all match before absolute rates are comparable
+HOST_FIELDS = ("platform", "cpu_count", "python")
+
+
+def _lookup(doc: Dict[str, Any], path: str) -> Optional[float]:
+    node: Any = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def same_host(baseline: Dict[str, Any], new: Dict[str, Any]) -> bool:
+    """True when both files were recorded on an identical host fingerprint."""
+    a, b = baseline.get("host", {}), new.get("host", {})
+    return all(a.get(f) is not None and a.get(f) == b.get(f) for f in HOST_FIELDS)
+
+
+def compare(
+    baseline: Dict[str, Any],
+    new: Dict[str, Any],
+    max_regress: float,
+    max_rate_regress: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Compare every known metric; one result row per comparison.
+
+    Each row has ``key``, ``kind``, ``status`` (``ok`` / ``regressed`` /
+    ``skipped``), the two values, and ``delta`` — the relative drop in
+    percent for rates, the increase in percentage points for overheads
+    (positive always means "got worse").  Rates gate against
+    ``max_rate_regress`` (default: ``2 * max_regress`` — absolute rates
+    are noisier than the ratio-based overheads), overheads against
+    ``max_regress``.
+    """
+    if max_rate_regress is None:
+        max_rate_regress = 2 * max_regress
+    host_ok = same_host(baseline, new)
+    rows: List[Dict[str, Any]] = []
+    for key, kind in COMPARISONS:
+        base_v, new_v = _lookup(baseline, key), _lookup(new, key)
+        row: Dict[str, Any] = {
+            "key": key, "kind": kind, "baseline": base_v, "new": new_v,
+        }
+        if base_v is None or new_v is None:
+            row.update(status="skipped", note="missing in baseline or candidate")
+        elif kind == "rate" and not host_ok:
+            row.update(status="skipped", note="host fingerprint differs")
+        elif kind == "rate":
+            delta = 100.0 * (base_v - new_v) / base_v if base_v else 0.0
+            row.update(
+                delta=round(delta, 1),
+                status="regressed" if delta > max_rate_regress else "ok",
+            )
+        else:
+            delta = new_v - base_v
+            row.update(
+                delta=round(delta, 1),
+                status="regressed" if delta > max_regress else "ok",
+            )
+        rows.append(row)
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="reference benchmark JSON (committed baseline)")
+    parser.add_argument("--new", required=True,
+                        help="candidate benchmark JSON (fresh run)")
+    parser.add_argument("--max-regress", type=float, default=10.0,
+                        help="tolerated overhead increase in percentage "
+                             "points (default 10)")
+    parser.add_argument("--max-rate-regress", type=float, default=None,
+                        help="tolerated throughput drop in percent for "
+                             "absolute rates (default: 2x --max-regress)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.new) as fh:
+        new = json.load(fh)
+
+    rows = compare(baseline, new, args.max_regress, args.max_rate_regress)
+    failed = [r for r in rows if r["status"] == "regressed"]
+    unit = {"rate": "%", "pct": "pt"}
+    for r in rows:
+        if r["status"] == "skipped":
+            print(f"SKIP  {r['key']}: {r['note']}")
+        else:
+            word = "FAIL" if r["status"] == "regressed" else "ok  "
+            print(f"{word}  {r['key']}: {r['baseline']} -> {r['new']} "
+                  f"({r['delta']:+}{unit[r['kind']]})")
+    if failed:
+        print(f"\n{len(failed)} metric(s) regressed beyond tolerance "
+              f"(see FAIL lines above)")
+        return 1
+    compared = sum(r["status"] == "ok" for r in rows)
+    print(f"\nall {compared} compared metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
