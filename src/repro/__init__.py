@@ -57,6 +57,9 @@ __all__ = [
     "HyperspaceStack",
     "Machine",
     "ReliabilityConfig",
+    "StackCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "__version__",
 ]
 
@@ -74,4 +77,8 @@ def __getattr__(name):  # lazy imports to avoid import cycles at startup
         from .reliability import ReliabilityConfig
 
         return ReliabilityConfig
+    if name in ("StackCheckpoint", "load_checkpoint", "save_checkpoint"):
+        from . import state
+
+        return getattr(state, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

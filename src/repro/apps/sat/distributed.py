@@ -191,10 +191,14 @@ solve_sat = make_solve_sat()
 class DistributedSatResult:
     """Outcome of a distributed solve: verdict, model and profiling data."""
 
-    __slots__ = ("satisfiable", "assignment", "report", "engine_stats", "cnf", "link_stats")
+    __slots__ = (
+        "satisfiable", "assignment", "report", "engine_stats", "cnf",
+        "link_stats", "state_digest",
+    )
 
     def __init__(
-        self, cnf: CNF, raw_result: Any, report, engine_stats, link_stats=None
+        self, cnf: CNF, raw_result: Any, report, engine_stats, link_stats=None,
+        state_digest: Optional[str] = None,
     ) -> None:
         self.cnf = cnf
         self.satisfiable = raw_result is not None
@@ -205,6 +209,9 @@ class DistributedSatResult:
         self.engine_stats = engine_stats
         #: layer-1.5 protocol counters (reliable runs only, else None)
         self.link_stats = link_stats
+        #: semantic digest of the final stack state — only computed for
+        #: checkpointed/resumed solves, where it anchors resume parity
+        self.state_digest = state_digest
 
     @property
     def verified(self) -> bool:
@@ -240,6 +247,11 @@ def solve_on_machine(
     duplicate: float = 0.0,
     reliable=False,
     telemetry=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir=None,
+    checkpoint_sink=None,
+    resume_from=None,
+    topology_spec: Optional[str] = None,
 ) -> DistributedSatResult:
     """Solve one formula on a simulated machine; the one-call entry point.
 
@@ -267,7 +279,23 @@ def solve_on_machine(
     layer-1.5 reliable-delivery protocol (``docs/robustness.md``); with
     ``reliable`` the result's ``link_stats`` carries the protocol counters
     (retransmits, suppressed duplicates, ...).
+
+    ``checkpoint_every`` / ``checkpoint_dir`` / ``checkpoint_sink`` /
+    ``resume_from`` expose stack checkpointing (``docs/checkpointing.md``):
+    checkpoints embed a ``workload`` header describing this solve (formula
+    included) so ``repro solve --resume`` can rebuild the stack unaided;
+    ``topology_spec`` optionally records the parseable CLI topology string
+    in that header.  Checkpointed solves carry the final semantic state
+    digest on the result (``state_digest``).  The ``"random"`` branching
+    heuristic draws from one shared RNG across invocations and therefore
+    cannot be replayed from a checkpoint — it is rejected here.
     """
+    if (checkpoint_every is not None or resume_from is not None) and heuristic == "random":
+        raise ApplicationError(
+            "the 'random' branching heuristic shares one RNG stream across "
+            "invocations and cannot be checkpointed/resumed deterministically; "
+            "use a deterministic heuristic (e.g. 'max_occurrence')"
+        )
     stack = HyperspaceStack(
         topology,
         mapper=mapper,
@@ -285,14 +313,50 @@ def solve_on_machine(
     fn = make_solve_sat(
         heuristic, rng=random.Random(seed), hint_mode=hint_mode, simplify=simplify
     )
+    checkpointing = checkpoint_every is not None or resume_from is not None
+    checkpoint_meta = None
+    if checkpoint_every is not None:
+        # the workload header lets `repro solve --resume` rebuild this call
+        checkpoint_meta = {
+            "workload": {
+                "kind": "sat",
+                "clauses": [list(c) for c in cnf.clauses],
+                "num_vars": cnf.num_vars,
+                "topology_spec": topology_spec,
+                "mapper": mapper,
+                "status": status,
+                "heuristic": heuristic if isinstance(heuristic, str) else None,
+                "cancellation": cancellation,
+                "hint_mode": hint_mode,
+                "simplify": simplify,
+                "seed": seed,
+                "trigger_node": trigger_node,
+                "drain": drain,
+                "share_threshold": share_threshold,
+                "drop": drop,
+                "duplicate": duplicate,
+                "reliable": bool(reliable),
+            }
+        }
     raw, report = stack.run_recursive(
         fn,
         SatProblem(cnf),
         trigger_node=trigger_node,
         max_steps=max_steps,
         halt_on_result=not drain,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_sink=checkpoint_sink,
+        checkpoint_meta=checkpoint_meta,
+        resume_from=resume_from,
     )
     assert stack.last_run is not None
+    state_digest = None
+    if checkpointing:
+        from ...state import state_digest_of
+
+        run = stack.last_run
+        state_digest = state_digest_of(stack._compose_layers(run.machine, run.scheduler))
     rel = stack.last_run.machine.reliability
     return DistributedSatResult(
         cnf,
@@ -300,4 +364,5 @@ def solve_on_machine(
         report,
         stack.last_run.engine_stats,
         link_stats=rel.stats if rel is not None else None,
+        state_digest=state_digest,
     )

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..parallel import SatTask, solve_sat_tasks
 from .report import format_table
-from .suites import BenchPreset, QUICK, figure4_series, mesh_for, sat_suite
+from .suites import BenchPreset, QUICK, figure4_series, mesh_for, sat_suite, with_seed
 
 __all__ = [
     "Figure4Point",
@@ -93,6 +93,7 @@ def run_figure4(
     verbose: bool = False,
     jobs: Optional[int] = None,
     trace_path: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> Figure4Result:
     """Sweep the Figure-4 grid and return all data points.
 
@@ -114,7 +115,12 @@ def run_figure4(
     traced run happens in-process after the sweep (telemetry buses do not
     cross the process-pool boundary), so it never perturbs the sweep
     numbers; its summary lands in :attr:`Figure4Result.trace_summary`.
+
+    ``seed`` overrides the preset's pinned base seed (problem suite and
+    per-cell machine seeds alike); the default ``None`` keeps the preset's
+    seed, which reproduces the committed JSON baselines bit-for-bit.
     """
+    preset = with_seed(preset, seed)
     problems = sat_suite(preset)
     # flatten the sweep: one cell per (series, machine size), one task per
     # (cell, problem); the pool returns outcomes in task order, so the

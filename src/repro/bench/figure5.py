@@ -23,7 +23,7 @@ import numpy as np
 from ..parallel import SatTask, solve_sat_tasks
 from ..topology import Torus
 from .report import format_series_block, format_table, heatmap_ascii
-from .suites import FIGURE5_TORUS_DIMS, BenchPreset, QUICK, sat_suite
+from .suites import FIGURE5_TORUS_DIMS, BenchPreset, QUICK, sat_suite, with_seed
 
 __all__ = ["Figure5Result", "run_figure5", "render_figure5", "figure5_to_dict"]
 
@@ -74,6 +74,7 @@ def run_figure5(
     heuristic: str = "max_occurrence",
     jobs: Optional[int] = None,
     trace_path: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> Figure5Result:
     """Profile the benchmark suite on the 196-core 2D torus of Figure 5.
 
@@ -85,7 +86,12 @@ def run_figure5(
     the heatmap cell of the bottom row — with a full telemetry pipeline
     and writes a Chrome/Perfetto trace there (in-process, after the
     sweep; see :func:`repro.bench.run_figure4`).
+
+    ``seed`` overrides the preset's pinned base seed (see
+    :func:`repro.bench.run_figure4`); ``None`` reproduces the committed
+    baselines.
     """
+    preset = with_seed(preset, seed)
     problems = sat_suite(preset)
     topo = Torus(FIGURE5_TORUS_DIMS)
     tasks: List[SatTask] = []

@@ -16,6 +16,7 @@ __all__ = [
     "QUICK",
     "FULL",
     "sat_suite",
+    "with_seed",
     "mesh_for",
     "figure4_series",
     "FIGURE5_TORUS_DIMS",
@@ -55,6 +56,25 @@ FULL = BenchPreset("full", 20, (9, 16, 27, 64, 125, 196, 343, 512, 729, 1000))
 def sat_suite(preset: BenchPreset) -> List[CNF]:
     """The uf20-91 stand-in suite at the preset's problem count."""
     return uf20_91_suite(preset.n_problems, seed=preset.seed)
+
+
+def with_seed(preset: BenchPreset, seed: "int | None") -> BenchPreset:
+    """``preset`` with its base seed overridden (``None`` = keep pinned).
+
+    The seed feeds both the problem-suite generation and every sweep
+    cell's machine, so an override reruns the whole figure on a fresh but
+    fully reproducible draw; the pinned default reproduces the committed
+    JSON baselines.
+    """
+    if seed is None or seed == preset.seed:
+        return preset
+    return BenchPreset(
+        preset.name,
+        preset.n_problems,
+        preset.core_counts,
+        seed=seed,
+        max_steps=preset.max_steps,
+    )
 
 
 def mesh_for(kind: str, n_cores: int) -> Topology:

@@ -59,6 +59,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-limit", type=int, default=None, metavar="N",
         help="retransmissions per frame before giving up (implies --reliable)",
     )
+    solve.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="checkpoint the whole stack every K simulation steps "
+             "(docs/checkpointing.md)",
+    )
+    solve.add_argument(
+        "--checkpoint-dir", default="checkpoints", metavar="DIR",
+        help="where --checkpoint-every writes checkpoint-<step>.ckpt "
+             "files (default: ./checkpoints)",
+    )
+    solve.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a checkpointed solve; the workload (formula, machine, "
+             "solver flags) is rebuilt from the checkpoint header, so other "
+             "solver flags are ignored",
+    )
 
     gen = sub.add_parser("generate", help="write random 3-SAT benchmark files")
     gen.add_argument("out_dir", help="output directory")
@@ -80,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--preset", default="quick", choices=["quick", "full"])
 
     for fig in (fig4, fig5):
+        fig.add_argument(
+            "--seed", type=int, default=None, metavar="S",
+            help="override the preset's base seed (default: the preset's "
+                 "pinned seed, which reproduces the committed baselines)",
+        )
         fig.add_argument(
             "--jobs", "-j", type=int, default=None, metavar="N",
             help="worker processes for the sweep (0 = all cores; default: "
@@ -120,10 +141,46 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_solve(args) -> int:
     from .apps.sat import dpll_solve, load_dimacs, solve_on_machine, uf20_91_suite
+    from .apps.sat.cnf import CNF
     from .bench import heatmap_ascii, sparkline
+    from .state import load_checkpoint
     from .topology import topology_from_spec
 
-    if args.cnf:
+    resume_ckpt = None
+    if args.resume is not None:
+        from .errors import CheckpointError
+
+        # the checkpoint header is authoritative for the whole workload:
+        # formula, machine and solver flags all come from the original run
+        try:
+            resume_ckpt = load_checkpoint(args.resume)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        workload = resume_ckpt.meta.get("workload")
+        if not workload or workload.get("kind") != "sat":
+            print(
+                f"error: {args.resume} carries no solve workload header "
+                "(was it written by `repro solve --checkpoint-every`?)",
+                file=sys.stderr,
+            )
+            return 2
+        cnf = CNF(workload["clauses"], workload["num_vars"])
+        args.topology = workload["topology_spec"] or args.topology
+        args.mapper = workload["mapper"]
+        args.status = workload["status"]
+        args.heuristic = workload["heuristic"]
+        args.simplify = workload["simplify"]
+        args.seed = workload["seed"]
+        args.drop = workload["drop"]
+        args.dup = workload["duplicate"]
+        args.reliable = workload["reliable"]
+        if not args.quiet:
+            print(
+                f"c resuming from      {args.resume} "
+                f"(step {resume_ckpt.step}, digest {resume_ckpt.state_digest})"
+            )
+    elif args.cnf:
         cnf = load_dimacs(args.cnf)
     else:
         cnf = uf20_91_suite(1, seed=args.seed)[0]
@@ -144,6 +201,10 @@ def _cmd_solve(args) -> int:
         drop=args.drop,
         duplicate=args.dup,
         reliable=reliable,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir if args.checkpoint_every else None,
+        resume_from=resume_ckpt,
+        topology_spec=args.topology,
     )
     seq = dpll_solve(cnf)
     if res.satisfiable != seq.satisfiable:
@@ -167,6 +228,13 @@ def _cmd_solve(args) -> int:
                 f"c reliability        {ls.retransmits} retransmits, "
                 f"{ls.dups_suppressed} dups suppressed, "
                 f"{ls.frames_lost} frames lost, {ls.exhausted} exhausted"
+            )
+        if res.state_digest is not None:
+            print(f"c state digest       {res.state_digest}")
+        if args.checkpoint_every:
+            print(
+                f"c checkpoints        every {args.checkpoint_every} steps "
+                f"-> {args.checkpoint_dir}"
             )
         print(f"c computation time   {rep.computation_time} steps")
         print(f"c messages           {rep.sent_total}")
@@ -236,6 +304,7 @@ def _cmd_figure4(args) -> int:
         verbose=True,
         jobs=args.jobs,
         trace_path=args.trace,
+        seed=args.seed,
     )
     print(render_figure4(result))
     if args.json:
@@ -259,7 +328,9 @@ def _cmd_figure5(args) -> int:
     )
 
     preset = FULL if args.preset == "full" else QUICK
-    result = run_figure5(preset, jobs=args.jobs, trace_path=args.trace)
+    result = run_figure5(
+        preset, jobs=args.jobs, trace_path=args.trace, seed=args.seed
+    )
     print(render_figure5(result))
     if args.json:
         print(f"\nJSON written to {write_json(args.json, figure5_to_dict(result))}")

@@ -32,6 +32,11 @@ class ReliabilityError(SimulationError):
     """Layer 1.5: reliable-delivery misconfiguration or retry-cap exhaustion."""
 
 
+class CheckpointError(ReproError):
+    """Snapshot/restore protocol violation: incompatible configuration,
+    corrupted or truncated checkpoint file, or non-replayable state."""
+
+
 class SchedulingError(ReproError):
     """Layer 2: process registration or delivery failure."""
 

@@ -493,6 +493,71 @@ class MappingService:
                     attrs={"count": count, "fanout": len(pctx.neighbours)},
                 )
 
+    # -- snapshot / restore (repro.state protocol) ------------------------
+
+    def snapshot_process_state(self, pstate: Any) -> Dict[str, Any]:
+        """Scheduler hook: capture one node's layer-3 state (plus the app's).
+
+        Returns live references — the calling scheduler detaches the whole
+        composite with one deepcopy, preserving any sharing.  The hosted
+        application's state is delegated to its ``snapshot_app_state`` hook
+        when present (the recursion engine implements it to make its live
+        generators replayable); hookless apps are captured raw.
+        """
+        if not isinstance(pstate, _MapState):
+            raise MappingError("state does not belong to a MappingService process")
+        view = pstate.view
+        hook = getattr(self.app, "snapshot_app_state", None)
+        if hook is not None:
+            app: Tuple[str, Any] = ("hook", hook(pstate.app_state))
+        else:
+            app = ("raw", pstate.app_state)
+        return {
+            "received_count": view.received_count,
+            "neighbour_counts": dict(view.neighbour_counts),
+            "view_rng": view.rng.getstate(),
+            "mapper": pstate.mapper,
+            "status": pstate.status,
+            "next_seq": pstate.next_seq,
+            "forward_table": dict(pstate.forward_table),
+            "results": list(pstate.results),
+            "app": app,
+        }
+
+    def restore_process_state(self, pctx: ProcessContext, data: Dict[str, Any]) -> None:
+        """Scheduler hook: install a captured layer-3 state into ``pctx``.
+
+        ``pctx`` must already be initialised by this service (so the
+        :class:`MappingContext` and view objects exist); counters, mapper,
+        status policy, routing tables and the app state are replaced.
+        """
+        from ..errors import CheckpointError
+
+        mstate: _MapState = pctx.state
+        if not isinstance(mstate, _MapState):
+            raise MappingError("state does not belong to a MappingService process")
+        view = mstate.view
+        view.received_count = data["received_count"]
+        view.neighbour_counts = dict(data["neighbour_counts"])
+        view.rng.setstate(data["view_rng"])
+        mstate.mapper = data["mapper"]
+        mstate.status = data["status"]
+        mstate.next_seq = data["next_seq"]
+        mstate.forward_table = dict(data["forward_table"])
+        mstate.results = list(data["results"])
+        kind, app_data = data["app"]
+        if kind == "hook":
+            hook = getattr(self.app, "restore_app_state", None)
+            if hook is None:
+                raise CheckpointError(
+                    f"application {type(self.app).__name__} cannot restore "
+                    "a hook-captured state"
+                )
+            assert mstate.mctx is not None
+            hook(mstate.mctx, app_data)
+        else:
+            mstate.app_state = app_data
+
     # -- inspection -------------------------------------------------------
 
     @staticmethod

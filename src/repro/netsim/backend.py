@@ -23,6 +23,7 @@ Semantics implemented here (and verified by tests):
 
 from __future__ import annotations
 
+import copy
 import random
 from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
@@ -484,13 +485,46 @@ class Machine:
             tel.flush()
         return n0
 
-    def run(self, max_steps: int = 1_000_000) -> SimulationReport:
-        """Run until quiescent, halted, or ``max_steps`` steps elapse."""
+    def run(
+        self,
+        max_steps: int = 1_000_000,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_sink: Optional[Callable[["Machine"], None]] = None,
+    ) -> SimulationReport:
+        """Run until quiescent, halted, or ``max_steps`` steps elapse.
+
+        With ``checkpoint_every=k``, ``checkpoint_sink(self)`` is called at
+        every k-th step boundary (after the step completed, before the
+        next begins) — the hook the stack uses to snapshot every layer.
+        The default (``None``) keeps the original tight loop: checkpointing
+        off adds zero per-step cost on the batched kernel path.
+        """
         if max_steps < 0:
             raise SimulationError(f"max_steps must be >= 0, got {max_steps}")
         executed = self.current_step + 1
         step = self.step
         rel = self._reliability
+        if checkpoint_every is None:
+            while (
+                executed < max_steps
+                and not self._halted
+                and (
+                    self._queued_count
+                    or self._in_flight_count
+                    or self._poll_requests
+                    or (rel is not None and rel.pending)
+                )
+            ):
+                step()
+                executed += 1
+            return self.report()
+        if checkpoint_every < 1:
+            raise SimulationError(
+                f"checkpoint_every must be >= 1 or None, got {checkpoint_every}"
+            )
+        if checkpoint_sink is None:
+            raise SimulationError("checkpoint_every requires a checkpoint_sink")
         while (
             executed < max_steps
             and not self._halted
@@ -503,6 +537,11 @@ class Machine:
         ):
             step()
             executed += 1
+            # step numbering is absolute (resumes continue it), so a run
+            # resumed from step k checkpoints at the same boundaries the
+            # uninterrupted run would
+            if (self.current_step + 1) % checkpoint_every == 0:
+                checkpoint_sink(self)
         return self.report()
 
     def report(self) -> SimulationReport:
@@ -513,3 +552,97 @@ class Machine:
             quiescent=self.is_quiescent,
             topology=self.topology,
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (repro.state protocol)
+    # ------------------------------------------------------------------
+
+    #: snapshot-schema version of the netsim layer state
+    STATE_VERSION = 1
+
+    def snapshot(self) -> "LayerState":
+        """Capture layer-1 mutable state as a detached :class:`LayerState`.
+
+        Covers the event-loop core (step counter, message-id counter, halt
+        flag), every inbox's contents, in-flight (latent) messages, pending
+        poll requests, the machine and fault-model RNG streams, and the
+        trace recorder — everything needed to continue the exact schedule.
+        Derived bookkeeping (active list, depth mirror, counters) is
+        recomputed on restore.  Program/per-node state is *not* included:
+        that belongs to the layers above (see ``docs/checkpointing.md``).
+        """
+        from ..state import LayerState
+
+        faults_rng = self._faults._rng
+        data = {
+            "config": {
+                "n_nodes": self.topology.n_nodes,
+                "topology": self.topology.describe(),
+                "unbounded_fifo": self._unbounded_fifo,
+                "has_fault_rng": faults_rng is not None,
+            },
+            "current_step": self.current_step,
+            "next_msg_id": self._next_msg_id,
+            "halted": self._halted,
+            "rng": self._rng.getstate(),
+            "faults_rng": None if faults_rng is None else faults_rng.getstate(),
+            "inboxes": [list(inbox._q) for inbox in self._inboxes],
+            "in_flight": {
+                step: list(pairs) for step, pairs in self._in_flight.items()
+            },
+            "poll_requests": sorted(self._poll_requests),
+            "trace": self.trace.snapshot(),
+        }
+        # one deepcopy over the whole composite: detaches envelopes/payloads
+        # from the live run while preserving sharing inside the snapshot
+        return LayerState("netsim", self.STATE_VERSION, copy.deepcopy(data))
+
+    def restore(self, state: "LayerState") -> None:
+        """Install a :meth:`snapshot`-captured state into this machine.
+
+        The machine must have been built with the same configuration
+        (topology, queue discipline, fault/latency/reliability setup) —
+        checkpoints store *state*, not code.  Raises
+        :class:`~repro.errors.CheckpointError` on a detectable mismatch.
+        """
+        from ..state import CheckpointError, LayerState  # noqa: F401
+
+        data = copy.deepcopy(state.require("netsim", self.STATE_VERSION))
+        cfg = data["config"]
+        if cfg["n_nodes"] != self.topology.n_nodes or cfg["topology"] != self.topology.describe():
+            raise CheckpointError(
+                f"checkpoint taken on {cfg['topology']} ({cfg['n_nodes']} nodes); "
+                f"this machine is {self.topology.describe()} "
+                f"({self.topology.n_nodes} nodes)"
+            )
+        if cfg["unbounded_fifo"] != self._unbounded_fifo:
+            raise CheckpointError(
+                "checkpoint and machine disagree on the inbox discipline"
+            )
+        faults_rng = self._faults._rng
+        if cfg["has_fault_rng"] != (faults_rng is not None):
+            raise CheckpointError(
+                "checkpoint and machine disagree on fault injection"
+            )
+        self.current_step = data["current_step"]
+        self._next_msg_id = data["next_msg_id"]
+        self._halted = data["halted"]
+        self._rng.setstate(data["rng"])
+        if faults_rng is not None:
+            faults_rng.setstate(data["faults_rng"])
+        for node, envs in enumerate(data["inboxes"]):
+            q = self._inboxes[node]._q
+            q.clear()
+            q.extend(envs)
+            self._depths[node] = len(envs)
+        # rebuilt ascending, so the next step needs no sort
+        self._active = [n for n in range(self.topology.n_nodes) if self._depths[n]]
+        self._active_dirty = False
+        self._queued_count = sum(self._depths)
+        self._in_flight = {
+            step: list(pairs) for step, pairs in data["in_flight"].items()
+        }
+        self._in_flight_count = sum(len(p) for p in self._in_flight.values())
+        self._poll_requests = set(data["poll_requests"])
+        self._tel_sends = 0
+        self.trace.restore(data["trace"])

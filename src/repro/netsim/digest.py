@@ -1,0 +1,44 @@
+"""Canonical digests for cross-commit parity and checkpoint integrity.
+
+Two distinct digests live here, used for two distinct guarantees:
+
+* :func:`canonical_digest` — first 16 hex chars of the sha256 of the
+  canonical-JSON encoding of a plain-data object.  The parity tests
+  (``tests/netsim/test_step_kernel_parity.py``) pin these across commits
+  to prove the batched step kernel never changed semantics, and the
+  checkpoint layer (:mod:`repro.state`) uses the same encoding for its
+  semantic *state digest* — the value the resume-parity fence compares
+  between an interrupted and an uninterrupted run.
+* :func:`payload_digest` — full sha256 of raw bytes, used by the on-disk
+  checkpoint format to detect corruption/truncation of the serialized
+  payload.
+
+Both are stdlib-only and stable across interpreter runs (no reliance on
+randomised ``hash()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_digest", "payload_digest"]
+
+
+def canonical_digest(obj: Any, length: int = 16) -> str:
+    """First ``length`` hex chars of the sha256 of canonical JSON.
+
+    ``obj`` must be JSON-encodable plain data (the ``default=str`` escape
+    hatch keeps numpy scalars and other stringifiable leaves working, as
+    the original in-test helper did).  Keys are sorted, so dict insertion
+    order never leaks into the digest.
+    """
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True, default=str).encode()
+    ).hexdigest()[:length]
+
+
+def payload_digest(data: bytes) -> str:
+    """Full sha256 hex digest of raw bytes (checkpoint integrity)."""
+    return hashlib.sha256(data).hexdigest()

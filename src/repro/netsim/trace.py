@@ -161,6 +161,58 @@ class TraceRecorder:
         if self.record_queue_depths and queue_depths is not None:
             self.queue_depth_rows.append(list(queue_depths))
 
+    # -- snapshot / restore (repro.state protocol) ---------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy every accumulated counter/series into a detached dict.
+
+        Configuration (``n_nodes``, ``record_queue_depths``) and the
+        ``_kind_cache`` memo are not state: the former must match on
+        restore, the latter rebuilds itself.
+        """
+        return {
+            "n_nodes": self.n_nodes,
+            "queued_series": list(self.queued_series),
+            "delivered_series": list(self.delivered_series),
+            "node_delivered": list(self.node_delivered),
+            "node_sent": list(self.node_sent),
+            "node_dropped": list(self.node_dropped),
+            "sent_total": self.sent_total,
+            "delivered_total": self.delivered_total,
+            "dropped_total": self.dropped_total,
+            "traffic_total": self.traffic_total,
+            "node_traffic": list(self.node_traffic),
+            "first_activity_step": self.first_activity_step,
+            "last_activity_step": self.last_activity_step,
+            "payload_counts": dict(self.payload_counts),
+            "queue_depth_rows": [list(row) for row in self.queue_depth_rows],
+        }
+
+    def restore(self, data: Dict[str, Any]) -> None:
+        """Install a :meth:`snapshot`-captured dict into this recorder."""
+        if data["n_nodes"] != self.n_nodes:
+            from ..errors import CheckpointError
+
+            raise CheckpointError(
+                f"trace snapshot covers {data['n_nodes']} nodes; "
+                f"this recorder covers {self.n_nodes}"
+            )
+        self.queued_series = list(data["queued_series"])
+        self.delivered_series = list(data["delivered_series"])
+        self.node_delivered = list(data["node_delivered"])
+        self.node_sent = list(data["node_sent"])
+        self.node_dropped = list(data["node_dropped"])
+        self.sent_total = data["sent_total"]
+        self.delivered_total = data["delivered_total"]
+        self.dropped_total = data["dropped_total"]
+        self.traffic_total = data["traffic_total"]
+        self.node_traffic = list(data["node_traffic"])
+        self.first_activity_step = data["first_activity_step"]
+        self.last_activity_step = data["last_activity_step"]
+        self.payload_counts = dict(data["payload_counts"])
+        self.queue_depth_rows = [list(row) for row in data["queue_depth_rows"]]
+        self._kind_cache = {}
+
 
 class SimulationReport:
     """Immutable summary of one simulation run.

@@ -165,7 +165,7 @@ class RecursionEngine:
                 f"{getattr(self.fn, '__name__', self.fn)!r} must be a generator "
                 "function (it returned a non-generator)"
             )
-        inv = Invocation(st.next_inv_id, gen, reply, start_step=mctx.step)
+        inv = Invocation(st.next_inv_id, gen, reply, start_step=mctx.step, args=payload)
         st.next_inv_id += 1
         st.invocations[inv.inv_id] = inv
         if reply is not None:
@@ -252,8 +252,13 @@ class RecursionEngine:
             set_probe_node(mctx.node)
         to_send: Any = None if first else resume_value
         gen = inv.gen
+        sent_log = inv.sent_log
         while True:
             try:
+                # log before sending: replaying the log against a fresh
+                # generator reproduces this exact suspension point after a
+                # checkpoint restore (see snapshot_app_state)
+                sent_log.append(to_send)
                 yielded = gen.send(to_send)
             except StopIteration as stop:
                 # `return value` sugar for `yield Result(value)`
@@ -379,6 +384,128 @@ class RecursionEngine:
                 mctx.node,
                 attrs={"inv": inv.inv_id},
             )
+
+    # -- snapshot / restore (repro.state protocol) --------------------------
+
+    def snapshot_app_state(self, st: Any) -> Dict[str, Any]:
+        """Layer-3 hook: capture one node's engine state, generators included.
+
+        Live generators cannot be serialized, so each invocation is stored
+        as its creation arguments plus its *sent log* — every value the
+        engine has sent into the generator so far.  Both the engine and the
+        hosted function are deterministic, so replaying the log against a
+        fresh ``fn(args)`` generator reproduces the exact suspension point
+        on restore.  Ticket-indexed maps are stored positionally
+        (invocation id + call-record index) and relinked on restore.
+        """
+        if not isinstance(st, _EngineState):
+            raise RecursionLayerError("state does not belong to a RecursionEngine")
+        from ..errors import CheckpointError
+
+        invs = []
+        for inv in st.invocations.values():
+            if not inv.waiting_sync:
+                raise CheckpointError(
+                    f"invocation #{inv.inv_id} is mid-drive (not suspended "
+                    "at a Sync); snapshots are only taken at step boundaries"
+                )
+            invs.append(
+                {
+                    "inv_id": inv.inv_id,
+                    "args": inv.args,
+                    "reply": inv.reply,
+                    "start_step": inv.start_step,
+                    "sent_log": list(inv.sent_log),
+                    "batch": [
+                        {
+                            "tickets": list(rec.tickets),
+                            "is_valid": rec.is_valid,
+                            "results": dict(rec.results),
+                            "resolved": rec.resolved,
+                            "value": rec.value,
+                        }
+                        for rec in inv.batch
+                    ],
+                }
+            )
+        pending = []
+        for ticket, (inv, rec) in st.pending.items():
+            try:
+                idx = inv.batch.index(rec)  # CallRecord compares by identity
+            except ValueError as exc:
+                raise CheckpointError(
+                    f"pending ticket {ticket} references a call record "
+                    f"outside invocation #{inv.inv_id}'s current batch"
+                ) from exc
+            pending.append((ticket, inv.inv_id, idx))
+        return {
+            "invocations": invs,
+            "pending": pending,
+            "by_reply_ticket": [
+                (ticket, inv.inv_id) for ticket, inv in st.by_reply_ticket.items()
+            ],
+            "next_inv_id": st.next_inv_id,
+            "stats": st.stats,
+        }
+
+    def restore_app_state(self, mctx: MappingContext, data: Dict[str, Any]) -> None:
+        """Layer-3 hook: rebuild the engine state, replaying each generator.
+
+        Replay drives ``fn(args)`` through the captured sent log, discarding
+        the (identical) yields; a generator that finishes early — e.g. a
+        non-deterministic hosted function — is a protocol violation reported
+        as :class:`~repro.errors.CheckpointError`.
+        """
+        from ..errors import CheckpointError
+
+        st = _EngineState()
+        st.next_inv_id = data["next_inv_id"]
+        st.stats = data["stats"]
+        for idata in data["invocations"]:
+            gen = self.fn(idata["args"])
+            inv = Invocation(
+                idata["inv_id"],
+                gen,
+                idata["reply"],
+                start_step=idata["start_step"],
+                args=idata["args"],
+            )
+            inv.waiting_sync = True
+            inv.sent_log = list(idata["sent_log"])
+            try:
+                for value in inv.sent_log:
+                    gen.send(value)
+            except StopIteration as exc:
+                raise CheckpointError(
+                    f"invocation #{inv.inv_id} finished during replay — the "
+                    "hosted function is not deterministic, so this run "
+                    "cannot be resumed from a checkpoint"
+                ) from exc
+            inv.batch = [
+                CallRecord(list(r["tickets"]), r["is_valid"]) for r in idata["batch"]
+            ]
+            for rec, r in zip(inv.batch, idata["batch"]):
+                rec.results = dict(r["results"])
+                rec.resolved = r["resolved"]
+                rec.value = r["value"]
+            st.invocations[inv.inv_id] = inv
+        for ticket, inv_id, idx in data["pending"]:
+            try:
+                inv = st.invocations[inv_id]
+                st.pending[ticket] = (inv, inv.batch[idx])
+            except (KeyError, IndexError) as exc:
+                raise CheckpointError(
+                    f"pending ticket {ticket} references missing invocation "
+                    f"#{inv_id} (record {idx})"
+                ) from exc
+        for ticket, inv_id in data["by_reply_ticket"]:
+            try:
+                st.by_reply_ticket[ticket] = st.invocations[inv_id]
+            except KeyError as exc:
+                raise CheckpointError(
+                    f"reply ticket {ticket} references missing invocation #{inv_id}"
+                ) from exc
+        mctx.state = st
 
     # -- inspection ---------------------------------------------------------
 

@@ -84,6 +84,8 @@ class Invocation:
         "done",
         "cancelled",
         "start_step",
+        "args",
+        "sent_log",
     )
 
     def __init__(
@@ -92,6 +94,7 @@ class Invocation:
         gen: Generator[Any, Any, Any],
         reply: Optional[ReplyHandle],
         start_step: int = -1,
+        args: Any = None,
     ) -> None:
         self.inv_id = inv_id
         self.gen = gen
@@ -105,6 +108,13 @@ class Invocation:
         #: simulation step the invocation started on (-1 = unknown); the
         #: telemetry layer turns (start_step, finish step) into a span
         self.start_step = start_step
+        #: the payload the generator was invoked with, kept so a checkpoint
+        #: can re-create ``gen`` (generators cannot be serialized)
+        self.args = args
+        #: every value sent into ``gen`` so far, in order; replaying the
+        #: log against a fresh generator reproduces its suspension point
+        #: exactly (the engine and the generator are both deterministic)
+        self.sent_log: List[Any] = []
 
     def batch_resolved(self) -> bool:
         """True if every record in the current batch has a value."""

@@ -657,6 +657,71 @@ class ReliableDelivery:
                     )
             self._transmit(link.src, link.dst, frame)
 
+    # -- snapshot / restore (repro.state protocol) -------------------------
+
+    #: snapshot-schema version of the reliability layer state
+    STATE_VERSION = 1
+
+    def snapshot(self) -> "LayerState":
+        """Capture the protocol's mutable state as a detached ``LayerState``.
+
+        One :func:`copy.deepcopy` over the composed dict keeps the internal
+        aliasing intact — ``_ack_owed`` values are the *same*
+        :class:`_ReceiverLink` objects held by ``_receivers``, timer-wheel
+        buckets hold the same :class:`_SenderLink` objects as ``_senders``,
+        and an in-flight retransmission is the same :class:`DataFrame` as
+        its retransmit-buffer entry.  Channel configuration (fault model,
+        latency, virtualization) is derived from the owning machine and is
+        recorded only as a ``virtual`` compatibility flag.
+        """
+        import copy
+
+        from ..state import LayerState
+
+        data = {
+            "virtual": self._virtual,
+            "stats": self.stats,
+            "senders": self._senders,
+            "receivers": self._receivers,
+            "frames": self._frames,
+            "frames_in_flight": self._frames_in_flight,
+            "unacked_total": self._unacked_total,
+            "timers": self._timers,
+            "ack_owed": self._ack_owed,
+            "retire": self._retire,
+        }
+        return LayerState("reliability", self.STATE_VERSION, copy.deepcopy(data))
+
+    def restore(self, state: "LayerState") -> None:
+        """Install a :meth:`snapshot`-captured state into this engine.
+
+        The engine must run in the same mode (framed vs virtualized, which
+        follows from the machine's fault/latency/telemetry configuration)
+        as the one that took the snapshot.
+        """
+        import copy
+
+        from ..errors import CheckpointError
+        from ..state import LayerState  # noqa: F401
+
+        data = copy.deepcopy(state.require("reliability", self.STATE_VERSION))
+        if data["virtual"] != self._virtual:
+            raise CheckpointError(
+                "checkpoint and machine disagree on the reliability mode "
+                f"(snapshot virtual={data['virtual']}, this engine "
+                f"virtual={self._virtual}); rebuild the stack with the "
+                "original fault/latency/telemetry configuration"
+            )
+        self.stats = data["stats"]
+        self._senders = data["senders"]
+        self._receivers = data["receivers"]
+        self._frames = data["frames"]
+        self._frames_in_flight = data["frames_in_flight"]
+        self._unacked_total = data["unacked_total"]
+        self._timers = data["timers"]
+        self._ack_owed = data["ack_owed"]
+        self._retire = data["retire"]
+
     # -- inspection --------------------------------------------------------
 
     def link_state(self) -> Dict[str, Dict[str, int]]:

@@ -235,6 +235,103 @@ class SchedulerProgram:
                 sched.last_pid = pid
             self._templates[pid].on_message(sched.proc_ctxs[pid], sender, payload)
 
+    # -- snapshot / restore (repro.state protocol) -----------------------
+
+    #: snapshot-schema version of the scheduler layer state
+    STATE_VERSION = 1
+
+    def snapshot(self, machine: Any) -> Any:
+        """Capture every node's scheduler state as a detached ``LayerState``.
+
+        The scheduler is a template: its per-node state lives in the
+        machine's node-state slots, so the machine is the explicit handle.
+        Per-process state is delegated to the template when it implements
+        the ``snapshot_process_state(state)`` hook (layer 3 does, carrying
+        layers 4-5 inside); hookless templates are captured by raw
+        deepcopy.  Either way one final :func:`copy.deepcopy` over the
+        whole composite detaches the snapshot from the live run.
+        """
+        import copy
+
+        from ..state import LayerState
+
+        nodes = []
+        for node in range(machine.topology.n_nodes):
+            sched: _NodeSched = machine.state_of(node)
+            procs: Dict[int, Tuple[str, Any]] = {}
+            for pid, template in enumerate(self._templates):
+                pstate = sched.proc_ctxs[pid].state
+                hook = getattr(template, "snapshot_process_state", None)
+                if hook is not None:
+                    procs[pid] = ("hook", hook(pstate))
+                else:
+                    procs[pid] = ("raw", pstate)
+            nodes.append(
+                {
+                    "queues": {pid: list(q) for pid, q in sched.queues.items()},
+                    "policy": sched.policy,
+                    "budget_step": sched.budget_step,
+                    "budget_used": sched.budget_used,
+                    "arrival_seq": sched.arrival_seq,
+                    "poll_pending": sched.poll_pending,
+                    "last_pid": sched.last_pid,
+                    "procs": procs,
+                }
+            )
+        data = {
+            "n_nodes": machine.topology.n_nodes,
+            "n_processes": len(self._templates),
+            "nodes": nodes,
+        }
+        return LayerState("sched", self.STATE_VERSION, copy.deepcopy(data))
+
+    def restore(self, machine: Any, state: Any) -> None:
+        """Install a :meth:`snapshot`-captured state into ``machine``.
+
+        The machine must already be initialised with this scheduler (same
+        templates, same process count) — contexts and send closures are
+        kept; queues, policies, budgets and per-process state are replaced.
+        """
+        import copy
+
+        from ..state import CheckpointError, LayerState  # noqa: F401
+
+        data = copy.deepcopy(state.require("sched", self.STATE_VERSION))
+        if data["n_nodes"] != machine.topology.n_nodes:
+            raise CheckpointError(
+                f"scheduler snapshot covers {data['n_nodes']} nodes; "
+                f"this machine has {machine.topology.n_nodes}"
+            )
+        if data["n_processes"] != len(self._templates):
+            raise CheckpointError(
+                f"scheduler snapshot hosts {data['n_processes']} processes "
+                f"per node; this program hosts {len(self._templates)}"
+            )
+        for node, ndata in enumerate(data["nodes"]):
+            sched: _NodeSched = machine.state_of(node)
+            for pid, q in sched.queues.items():
+                q.clear()
+                q.extend(ndata["queues"].get(pid, ()))
+            sched.policy = ndata["policy"]
+            sched.budget_step = ndata["budget_step"]
+            sched.budget_used = ndata["budget_used"]
+            sched.arrival_seq = ndata["arrival_seq"]
+            sched.poll_pending = ndata["poll_pending"]
+            sched.last_pid = ndata["last_pid"]
+            for pid, (kind, pdata) in ndata["procs"].items():
+                pctx = sched.proc_ctxs[pid]
+                template = self._templates[pid]
+                hook = getattr(template, "restore_process_state", None)
+                if kind == "hook":
+                    if hook is None:
+                        raise CheckpointError(
+                            f"process template {type(template).__name__} "
+                            "cannot restore a hook-captured state"
+                        )
+                    hook(pctx, pdata)
+                else:
+                    pctx.state = pdata
+
     # -- inspection helpers ----------------------------------------------
 
     def process_state(self, machine: Any, node: NodeId, pid: int = 0) -> Any:

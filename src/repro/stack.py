@@ -22,11 +22,18 @@ and an argument, get back the result plus a full profiling report::
     result, report = stack.run_recursive(calculate_sum, 10)
 
 Ticket-style (layer-3) applications run through :meth:`run_ticketed`.
+
+Runs are checkpointable: pass ``checkpoint_every`` (plus a directory or a
+sink callable) to :meth:`run_recursive` to capture the entire stack's state
+— every layer, via the uniform snapshot/restore protocol of
+:mod:`repro.state` — at regular step boundaries, and resume an interrupted
+run with :meth:`resume_recursive`.  See ``docs/checkpointing.md``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple, Union
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from .errors import SimulationError
 from .mapping import (
@@ -266,6 +273,93 @@ class HyperspaceStack:
         self.last_run = run
         return run
 
+    # -- checkpointing (repro.state protocol) --------------------------
+
+    def _compose_layers(
+        self, machine: Machine, scheduler: SchedulerProgram
+    ) -> Dict[str, Any]:
+        """Snapshot every active layer of a built machine, keyed by name."""
+        layers: Dict[str, Any] = {
+            "netsim": machine.snapshot(),
+            "sched": scheduler.snapshot(machine),
+        }
+        if machine.reliability is not None:
+            layers["reliability"] = machine.reliability.snapshot()
+        if self.telemetry is not None:
+            layers["telemetry"] = self.telemetry.snapshot()
+        return layers
+
+    def _compose_checkpoint(
+        self,
+        machine: Machine,
+        scheduler: SchedulerProgram,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "StackCheckpoint":
+        from .state import StackCheckpoint
+
+        full_meta: Dict[str, Any] = {
+            "step": machine.current_step,
+            "topology": self.topology.describe(),
+            "n_nodes": self.topology.n_nodes,
+            "seed": self.seed,
+        }
+        if meta:
+            full_meta.update(meta)
+        return StackCheckpoint.build(self._compose_layers(machine, scheduler), full_meta)
+
+    def _restore_layers(
+        self, machine: Machine, scheduler: SchedulerProgram, ckpt: "StackCheckpoint"
+    ) -> None:
+        """Install a checkpoint into a freshly built, identically configured
+        machine/scheduler pair.
+
+        The layer order matters only in that the scheduler restore reaches
+        layers 3-5 through contexts the machine restore must not disturb —
+        both operate on the already-initialised stack, replacing state, not
+        structure.  Reliability state is strict (protected runs cannot
+        resume unprotected, or vice versa); telemetry is assembly-local and
+        restored only when a bus is attached on both sides.
+        """
+        from .errors import CheckpointError
+
+        layers = ckpt.layers()
+        for required in ("netsim", "sched"):
+            if required not in layers:
+                raise CheckpointError(
+                    f"checkpoint is missing the {required!r} layer state"
+                )
+        machine.restore(layers["netsim"])
+        scheduler.restore(machine, layers["sched"])
+        if machine.reliability is not None:
+            if "reliability" not in layers:
+                raise CheckpointError(
+                    "this stack runs the reliability layer but the "
+                    "checkpoint carries no reliability state"
+                )
+            machine.reliability.restore(layers["reliability"])
+        elif "reliability" in layers:
+            raise CheckpointError(
+                "checkpoint carries reliability state but this stack "
+                "runs without the reliability layer"
+            )
+        if self.telemetry is not None and "telemetry" in layers:
+            self.telemetry.restore(layers["telemetry"])
+
+    def snapshot(self, meta: Optional[Dict[str, Any]] = None) -> "StackCheckpoint":
+        """Checkpoint the most recent run's final state.
+
+        Mostly useful for inspection and tests; mid-run checkpoints come
+        from ``checkpoint_every``.  ``meta`` entries are merged into the
+        checkpoint's self-describing header.
+        """
+        from .errors import CheckpointError
+
+        if self.last_run is None:
+            raise CheckpointError("nothing to snapshot: no run has completed yet")
+        return self._compose_checkpoint(
+            self.last_run.machine, self.last_run.scheduler, meta
+        )
+
     # ------------------------------------------------------------------
 
     def run_recursive(
@@ -277,6 +371,11 @@ class HyperspaceStack:
         max_steps: int = 1_000_000,
         strict: bool = True,
         halt_on_result: bool = True,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Union[None, str, Path] = None,
+        checkpoint_sink: Optional[Callable[["StackCheckpoint"], None]] = None,
+        checkpoint_meta: Optional[Dict[str, Any]] = None,
+        resume_from: Union[None, str, Path, "StackCheckpoint"] = None,
     ) -> Tuple[Any, SimulationReport]:
         """Run a layer-5 recursive application to completion.
 
@@ -292,7 +391,34 @@ class HyperspaceStack:
         With ``strict`` (default) a run that exhausts ``max_steps`` without
         producing the root result raises :class:`SimulationError`; pass
         ``strict=False`` to get ``(None, report)`` instead.
+
+        Checkpointing: with ``checkpoint_every=k`` the whole stack's state
+        is captured after every step whose (absolute) number is a multiple
+        of ``k`` and handed to ``checkpoint_sink`` and/or written to
+        ``checkpoint_dir`` as ``checkpoint-<step>.ckpt``.  ``resume_from``
+        (a path or a loaded :class:`~repro.state.StackCheckpoint`) installs
+        a previous checkpoint instead of injecting ``args`` — ``fn`` and
+        the stack configuration must match the original run, and ``fn``
+        must be deterministic (its generators are replayed; see
+        ``docs/checkpointing.md``).  ``max_steps`` bounds the *absolute*
+        step counter — a resumed run gets the same total budget as the
+        uninterrupted run it continues, not a fresh one.  With
+        ``checkpoint_every=None`` (default) the run loop is byte-for-byte
+        the uninstrumented one — checkpointing off costs nothing.
         """
+        from .errors import CheckpointError
+
+        if checkpoint_every is None and (
+            checkpoint_dir is not None or checkpoint_sink is not None
+        ):
+            raise CheckpointError(
+                "checkpoint_dir/checkpoint_sink need checkpoint_every"
+            )
+        if checkpoint_every is not None and checkpoint_dir is None and checkpoint_sink is None:
+            raise CheckpointError(
+                "checkpoint_every needs a destination: checkpoint_dir "
+                "and/or checkpoint_sink"
+            )
         engine = RecursionEngine(
             fn, cancellation=self.cancellation, telemetry=self.telemetry
         )
@@ -306,16 +432,49 @@ class HyperspaceStack:
         machine, scheduler, _service = self._build(
             engine, halt_on_result=halt_on_result, load_fn=load_fn
         )
-        machine.inject(trigger_node, args)
+        if resume_from is not None:
+            from .state import StackCheckpoint, load_checkpoint
+
+            ckpt = (
+                resume_from
+                if isinstance(resume_from, StackCheckpoint)
+                else load_checkpoint(resume_from)
+            )
+            self._restore_layers(machine, scheduler, ckpt)
+        else:
+            machine.inject(trigger_node, args)
+        machine_sink = None
+        if checkpoint_every is not None:
+            ckpt_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+
+            def machine_sink(m: Machine) -> None:
+                ckpt = self._compose_checkpoint(m, scheduler, checkpoint_meta)
+                if ckpt_dir is not None:
+                    from .state import save_checkpoint
+
+                    save_checkpoint(
+                        ckpt_dir / f"checkpoint-{m.current_step + 1:08d}.ckpt", ckpt
+                    )
+                if checkpoint_sink is not None:
+                    checkpoint_sink(ckpt)
+
         bus = self.telemetry
         if bus is not None:
             install_probes(bus, step_fn=lambda: machine.current_step)
             try:
-                report = machine.run(max_steps=max_steps)
+                report = machine.run(
+                    max_steps=max_steps,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_sink=machine_sink,
+                )
             finally:
                 uninstall_probes()
         else:
-            report = machine.run(max_steps=max_steps)
+            report = machine.run(
+                max_steps=max_steps,
+                checkpoint_every=checkpoint_every,
+                checkpoint_sink=machine_sink,
+            )
         run = self._collect(machine, scheduler, trigger_node, engine)
         if strict and not run.results:
             raise SimulationError(
@@ -324,6 +483,23 @@ class HyperspaceStack:
                 f"{getattr(fn, '__name__', fn)!r})"
             )
         return run.result, run.report
+
+    def resume_recursive(
+        self,
+        fn: RecursiveFunction,
+        checkpoint: Union[str, Path, "StackCheckpoint"],
+        **kwargs: Any,
+    ) -> Tuple[Any, SimulationReport]:
+        """Resume a checkpointed :meth:`run_recursive` run.
+
+        Sugar for ``run_recursive(fn, None, resume_from=checkpoint, ...)``.
+        The stack must be configured identically to the one that produced
+        the checkpoint (topology, mapper, seed, faults, reliability, ...);
+        detectable mismatches raise :class:`~repro.errors.CheckpointError`.
+        All :meth:`run_recursive` keyword arguments are accepted, including
+        ``checkpoint_every`` to keep checkpointing the resumed run.
+        """
+        return self.run_recursive(fn, None, resume_from=checkpoint, **kwargs)
 
     def run_ticketed(
         self,

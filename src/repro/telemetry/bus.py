@@ -308,3 +308,37 @@ class TelemetryBus:
             for fn in self._observation_subs:
                 fn(obs)
             obs.clear()
+
+    # -- snapshot / restore (repro.state protocol) ---------------------
+
+    #: snapshot-schema version of the telemetry layer state
+    STATE_VERSION = 1
+
+    def snapshot(self) -> "LayerState":
+        """Capture the bus's step-boundary state.
+
+        The machine flushes the bus at every step boundary, so the ring
+        and the coalesced delta maps are empty whenever a checkpoint is
+        taken — only the total event count and the deterministic sampling
+        phase carry across.  Subscribers are assembly, not state: a
+        resumed run re-attaches its own.
+        """
+        from ..state import LayerState
+
+        return LayerState(
+            "telemetry",
+            self.STATE_VERSION,
+            {
+                "events_emitted": self.events_emitted,
+                "sample_skip": self._sample_skip,
+            },
+        )
+
+    def restore(self, state: "LayerState") -> None:
+        """Install a :meth:`snapshot`-captured state into this bus."""
+        data = state.require("telemetry", self.STATE_VERSION)
+        self.events_emitted = data["events_emitted"]
+        self._sample_skip = data["sample_skip"]
+        self._counts.clear()
+        self._observations.clear()
+        self._ring_n = 0

@@ -13,20 +13,12 @@ test to update casually: re-derive the value from a known-good commit and
 justify the difference.
 """
 
-import hashlib
-import json
 import random
 
 from repro.netsim import EMPTY_MSG, Machine
+from repro.netsim.digest import canonical_digest as canon
 from repro.netsim.faults import FaultModel
 from repro.topology import Torus
-
-
-def canon(obj) -> str:
-    """First 16 hex chars of the sha256 of the canonical-JSON encoding."""
-    return hashlib.sha256(
-        json.dumps(obj, sort_keys=True, default=str).encode()
-    ).hexdigest()[:16]
 
 
 class Storm:

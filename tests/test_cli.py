@@ -1,4 +1,11 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Ends with an end-to-end smoke pass (``TestEndToEnd``) that drives every
+subcommand through :func:`repro.cli.main` exactly as a shell would —
+checking exit codes and that the machine-readable outputs parse.
+"""
+
+import json
 
 import pytest
 
@@ -142,3 +149,97 @@ class TestSolveFaultFlags:
                    "--drop", "0.05", "--retry-limit", "20"])
         assert rc == 0
         assert "reliable delivery on" in capsys.readouterr().out
+
+
+class TestSolveCheckpointFlags:
+    def test_checkpoint_and_resume_round_trip(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        base = ["solve", "--topology", "torus2d:4x4", "--seed", "7",
+                "--simplify", "none"]
+        rc = main(base + ["--checkpoint-every", "5",
+                          "--checkpoint-dir", str(ckpt_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert "c state digest" in out
+        assert f"every 5 steps -> {ckpt_dir}" in out
+        digest = [l for l in out.splitlines() if "state digest" in l][0].split()[-1]
+        files = sorted(ckpt_dir.glob("checkpoint-*.ckpt"))
+        assert files, "no checkpoint files written"
+
+        # resume from the earliest checkpoint: same verdict, same digest,
+        # no solver flags needed (the workload header is authoritative)
+        rc = main(["solve", "--resume", str(files[0])])
+        assert rc == 0
+        out2 = capsys.readouterr().out
+        assert "c resuming from" in out2
+        assert "s SATISFIABLE" in out2
+        digest2 = [l for l in out2.splitlines() if "state digest" in l][0].split()[-1]
+        assert digest2 == digest
+
+    def test_resume_rejects_non_checkpoint_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.ckpt"
+        bogus.write_text("this is not a checkpoint\n")
+        rc = main(["solve", "--resume", str(bogus)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_parser_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.checkpoint_every is None
+        assert args.checkpoint_dir == "checkpoints"
+        assert args.resume is None
+
+
+class TestEndToEnd:
+    """Every subcommand, driven exactly as a shell would."""
+
+    def test_topo(self, capsys):
+        assert main(["topo", "hypercube:4"]) == 0
+        assert "nodes      16" in capsys.readouterr().out
+
+    def test_generate_then_solve(self, tmp_path, capsys):
+        assert main(["generate", str(tmp_path), "--count", "1",
+                     "--vars", "10", "--clauses", "30", "--seed", "3"]) == 0
+        cnf_file = capsys.readouterr().out.strip()
+        assert main(["solve", cnf_file, "--topology", "torus2d:4x4",
+                     "--quiet"]) == 0
+        assert "s SATISFIABLE" in capsys.readouterr().out
+
+    def test_solve_with_faults_and_reliability(self, capsys):
+        rc = main(["solve", "--topology", "torus2d:4x4", "--seed", "11",
+                   "--drop", "0.02", "--dup", "0.01", "--reliable"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert "c reliability" in out
+
+    def test_figure4_json_and_seed(self, tmp_path, capsys):
+        path = tmp_path / "f4.json"
+        rc = main(["figure4", "--preset", "quick", "-j", "0",
+                   "--seed", "99", "--json", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["figure"] == "figure4"
+        assert data["preset"]["seed"] == 99
+        assert "2D Torus + RR" in data["series"]
+
+    def test_figure5_json_and_seed(self, tmp_path, capsys):
+        path = tmp_path / "f5.json"
+        rc = main(["figure5", "--preset", "quick", "-j", "0",
+                   "--seed", "99", "--json", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data["figure"] == "figure5"
+        assert data["preset"]["seed"] == 99
+        assert set(data["mappers"]) == {"rr", "lbn"}
+
+    def test_trace_workload(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["trace", "sumrec", "--out", str(out),
+                   "--metrics", str(metrics), "--topology", "torus2d:4x4"])
+        assert rc == 0
+        events = json.loads(out.read_text())
+        assert events, "empty trace"
+        assert json.loads(metrics.read_text())
