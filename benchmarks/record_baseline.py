@@ -9,7 +9,10 @@ Measures the numbers the optimization work tracks:
    reliability protocol (clean / faulty links), and the everything-on
    protected + instrumented configuration, each as throughput lost
    against the corresponding bare run;
-3. **Sweep wall time** — ``run_figure4(QUICK)`` end to end, serial and
+3. **Sharded backend** — the coordinator's intent-replay bookkeeping
+   (inline cells, host-relative) and the full multi-process backend's
+   storm rate;
+4. **Sweep wall time** — ``run_figure4(QUICK)`` end to end, serial and
    through the process-pool executor, asserting both produce identical
    points.
 
@@ -241,6 +244,56 @@ def measure_protected_instrumented(repeats: int) -> dict:
     }
 
 
+def sharded_storm_rate(shards: int, backend: str, steps: int = 400) -> float:
+    """Storm deliveries/s through the sharded backend's coordinator loop."""
+    from repro.netsim import ShardedMachine
+
+    with ShardedMachine(
+        Torus((20, 20)), _Storm(), shards=shards, shard_backend=backend
+    ) as m:
+        for n in range(400):
+            m.inject(n, EMPTY_MSG)
+        m.step()  # warm-up: one step to populate every queue
+        t0 = time.perf_counter()
+        delivered = 0
+        for _ in range(steps):
+            delivered += m.step()
+        return delivered / (time.perf_counter() - t0)
+
+
+def measure_sharded(repeats: int) -> dict:
+    """Cost of the sharded backend's coordination machinery.
+
+    Two configurations of the storm load against the plain serial rate:
+
+    * ``inline`` (shards=4, same-process cells) — isolates the pure
+      bookkeeping cost of the intent-collection/replay protocol with no
+      IPC, recorded host-relative so it gates on every machine;
+    * ``process`` (shards=2, real workers) — the full backend including
+      pickling and the per-step barrier, recorded as an absolute rate
+      (host-gated).  On the storm load every node is busy, so this is the
+      worst case for the barrier: real solver runs shard far better.
+    """
+
+    def med(fn):
+        vals = sorted(fn() for _ in range(repeats))
+        return round(vals[len(vals) // 2])
+
+    serial = med(storm_rate)
+    inline4 = med(lambda: sharded_storm_rate(4, "inline"))
+    # process workers are slow to spawn; one repeat less noise-sensitive
+    # than it sounds because the 400-step run amortises startup
+    process2 = round(sharded_storm_rate(2, "process", steps=100))
+    return {
+        "unit": "deliveries per second",
+        "workload": "storm_torus400",
+        "storm_serial": serial,
+        "storm_inline4": inline4,
+        "storm_process2": process2,
+        "inline_overhead_pct": round(100.0 * (1.0 - inline4 / serial), 1),
+    }
+
+
 # -- figure-4 sweep wall time ---------------------------------------------
 
 
@@ -328,6 +381,7 @@ def main(argv=None) -> int:
         "telemetry_overhead": measure_telemetry_overhead(args.repeats),
         "reliability_overhead": measure_reliability_overhead(args.repeats),
         "protected_instrumented": measure_protected_instrumented(args.repeats),
+        "sharded": measure_sharded(args.repeats),
     }
     if args.compare:
         payload["microbenchmark_reference"] = {

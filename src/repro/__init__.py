@@ -56,6 +56,8 @@ __all__ = [
     "topology_from_spec",
     "HyperspaceStack",
     "Machine",
+    "ShardedMachine",
+    "ShardProgramSpec",
     "ReliabilityConfig",
     "StackCheckpoint",
     "load_checkpoint",
@@ -73,6 +75,10 @@ def __getattr__(name):  # lazy imports to avoid import cycles at startup
         from .netsim import Machine
 
         return Machine
+    if name in ("ShardedMachine", "ShardProgramSpec"):
+        from . import netsim
+
+        return getattr(netsim, name)
     if name == "ReliabilityConfig":
         from .reliability import ReliabilityConfig
 

@@ -20,6 +20,7 @@ import random
 from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 from ...errors import ApplicationError
+from ...netsim import ShardProgramSpec, resolve_shards
 from ...recursion import Call, Choice, Result, Sync
 from ...stack import HyperspaceStack
 from ...telemetry.probe import probe, probe_enabled
@@ -252,6 +253,8 @@ def solve_on_machine(
     checkpoint_sink=None,
     resume_from=None,
     topology_spec: Optional[str] = None,
+    shards=None,
+    shard_partitioner: str = "strip",
 ) -> DistributedSatResult:
     """Solve one formula on a simulated machine; the one-call entry point.
 
@@ -289,11 +292,27 @@ def solve_on_machine(
     digest on the result (``state_digest``).  The ``"random"`` branching
     heuristic draws from one shared RNG across invocations and therefore
     cannot be replayed from a checkpoint — it is rejected here.
+
+    ``shards`` / ``shard_partitioner`` select the sharded multi-process
+    backend (``docs/parallelism.md``): node handlers run in ``shards``
+    persistent worker processes with a schedule bit-identical to the
+    serial machine, so verdicts, digests and telemetry counters do not
+    depend on the shard count.  ``shards=None`` consults ``REPRO_SHARDS``
+    and defaults to serial.  Checkpoints never record the shard count —
+    a sharded run resumes serially and vice versa.
     """
     if (checkpoint_every is not None or resume_from is not None) and heuristic == "random":
         raise ApplicationError(
             "the 'random' branching heuristic shares one RNG stream across "
             "invocations and cannot be checkpointed/resumed deterministically; "
+            "use a deterministic heuristic (e.g. 'max_occurrence')"
+        )
+    n_shards = min(resolve_shards(shards), topology.n_nodes)
+    if n_shards > 1 and heuristic == "random":
+        raise ApplicationError(
+            "the 'random' branching heuristic shares one RNG stream across "
+            "invocations; under the sharded backend each worker would hold "
+            "its own copy and the draws would diverge from a serial run — "
             "use a deterministic heuristic (e.g. 'max_occurrence')"
         )
     stack = HyperspaceStack(
@@ -309,10 +328,22 @@ def solve_on_machine(
         duplicate=duplicate,
         reliable=reliable,
         telemetry=telemetry,
+        shards=n_shards,
+        shard_partitioner=shard_partitioner,
     )
     fn = make_solve_sat(
         heuristic, rng=random.Random(seed), hint_mode=hint_mode, simplify=simplify
     )
+    fn_spec = None
+    if n_shards > 1:
+        # workers rebuild the generator function from this picklable recipe
+        fn_spec = ShardProgramSpec(
+            make_solve_sat,
+            heuristic,
+            rng=random.Random(seed),
+            hint_mode=hint_mode,
+            simplify=simplify,
+        )
     checkpointing = checkpoint_every is not None or resume_from is not None
     checkpoint_meta = None
     if checkpoint_every is not None:
@@ -349,6 +380,7 @@ def solve_on_machine(
         checkpoint_sink=checkpoint_sink,
         checkpoint_meta=checkpoint_meta,
         resume_from=resume_from,
+        fn_spec=fn_spec,
     )
     assert stack.last_run is not None
     state_digest = None
@@ -358,6 +390,9 @@ def solve_on_machine(
         run = stack.last_run
         state_digest = state_digest_of(stack._compose_layers(run.machine, run.scheduler))
     rel = stack.last_run.machine.reliability
+    close = getattr(stack.last_run.machine, "close", None)
+    if close is not None:
+        close()
     return DistributedSatResult(
         cnf,
         raw,

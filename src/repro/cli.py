@@ -75,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
              "solver flags) is rebuilt from the checkpoint header, so other "
              "solver flags are ignored",
     )
+    solve.add_argument(
+        "--shards", default=None, metavar="N",
+        help="run node handlers in N worker processes (0 or 'auto' = all "
+             "cores; default: REPRO_SHARDS env var, else serial); the "
+             "schedule, verdict and digests are identical for any shard "
+             "count (docs/parallelism.md)",
+    )
+    solve.add_argument(
+        "--shard-partitioner", default="strip",
+        choices=["strip", "grid", "greedy"],
+        help="how --shards splits nodes across workers (default: strip)",
+    )
 
     gen = sub.add_parser("generate", help="write random 3-SAT benchmark files")
     gen.add_argument("out_dir", help="output directory")
@@ -205,6 +217,10 @@ def _cmd_solve(args) -> int:
         checkpoint_dir=args.checkpoint_dir if args.checkpoint_every else None,
         resume_from=resume_ckpt,
         topology_spec=args.topology,
+        # --shards is honoured on --resume too: checkpoints carry no shard
+        # count, so a run may be checkpointed sharded and resumed serially
+        shards=args.shards,
+        shard_partitioner=args.shard_partitioner,
     )
     seq = dpll_solve(cnf)
     if res.satisfiable != seq.satisfiable:
@@ -219,6 +235,14 @@ def _cmd_solve(args) -> int:
     if not args.quiet:
         rep = res.report
         print(f"c machine            {topo.describe()} ({args.mapper})")
+        from .netsim import resolve_shards
+
+        n_shards = min(resolve_shards(args.shards), topo.n_nodes)
+        if n_shards > 1:
+            print(
+                f"c sharded backend    {n_shards} worker processes "
+                f"({args.shard_partitioner} partition)"
+            )
         if args.drop or args.dup:
             guard = "reliable delivery on" if reliable else "UNPROTECTED"
             print(f"c link faults        drop={args.drop} dup={args.dup} ({guard})")

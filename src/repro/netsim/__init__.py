@@ -7,18 +7,36 @@ Public surface:
   the node code interface.
 * :class:`TraceRecorder` / :class:`SimulationReport` — profiling (paper §V-C).
 * :class:`FaultModel`, inbox policies — documented extensions.
+* :class:`ShardedMachine` + :mod:`repro.netsim.partition` — the sharded
+  multi-process backend (bit-identical to :class:`Machine`).
 """
 
 from .backend import EXTERNAL, Machine
 from .faults import FaultModel, ReliableLinks
 from .message import EMPTY_MSG, Envelope
+from .partition import PARTITIONERS, edge_cut, make_partition
 from .program import FunctionalProgram, NodeContext, NodeProgram, SendFn
 from .queues import FifoInbox, Inbox, LifoInbox, RandomInbox, make_inbox
+from .sharded import (
+    SHARDS_ENV_VAR,
+    ShardProgramSpec,
+    ShardWorkerError,
+    ShardedMachine,
+    resolve_shards,
+)
 from .sizing import HEADER_SIZE, SizeFn, generic_content_size, make_envelope_sizer, unit_size
 from .trace import SimulationReport, TraceRecorder, gini, spatial_entropy
 
 __all__ = [
     "Machine",
+    "ShardedMachine",
+    "ShardProgramSpec",
+    "ShardWorkerError",
+    "SHARDS_ENV_VAR",
+    "resolve_shards",
+    "PARTITIONERS",
+    "make_partition",
+    "edge_cut",
     "EXTERNAL",
     "EMPTY_MSG",
     "Envelope",

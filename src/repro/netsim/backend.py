@@ -92,6 +92,10 @@ class Machine:
         storm/flood microbench guard in ``docs/observability.md`` pins.
     """
 
+    #: subclasses that own program initialisation elsewhere (the sharded
+    #: coordinator runs ``program.init`` inside its workers) set this False
+    _init_node_programs = True
+
     def __init__(
         self,
         topology: Topology,
@@ -194,8 +198,9 @@ class Machine:
             self._neighbour_sets.append(frozenset(neigh))
             ctx = NodeContext(node, neigh, self._make_send(node), self)
             self._contexts.append(ctx)
-        for ctx in self._contexts:
-            self.program.init(ctx)
+        if self._init_node_programs:
+            for ctx in self._contexts:
+                self.program.init(ctx)
 
     # ------------------------------------------------------------------
     # Sending

@@ -240,6 +240,54 @@ class SchedulerProgram:
     #: snapshot-schema version of the scheduler layer state
     STATE_VERSION = 1
 
+    def _snapshot_node(self, sched: _NodeSched) -> Dict[str, Any]:
+        """Capture one node's scheduler bookkeeping + per-process state."""
+        procs: Dict[int, Tuple[str, Any]] = {}
+        for pid, template in enumerate(self._templates):
+            pstate = sched.proc_ctxs[pid].state
+            hook = getattr(template, "snapshot_process_state", None)
+            if hook is not None:
+                procs[pid] = ("hook", hook(pstate))
+            else:
+                procs[pid] = ("raw", pstate)
+        return {
+            "queues": {pid: list(q) for pid, q in sched.queues.items()},
+            "policy": sched.policy,
+            "budget_step": sched.budget_step,
+            "budget_used": sched.budget_used,
+            "arrival_seq": sched.arrival_seq,
+            "poll_pending": sched.poll_pending,
+            "last_pid": sched.last_pid,
+            "procs": procs,
+        }
+
+    def _restore_node(self, sched: _NodeSched, ndata: Dict[str, Any]) -> None:
+        """Install one node's captured state (inverse of _snapshot_node)."""
+        from ..state import CheckpointError
+
+        for pid, q in sched.queues.items():
+            q.clear()
+            q.extend(ndata["queues"].get(pid, ()))
+        sched.policy = ndata["policy"]
+        sched.budget_step = ndata["budget_step"]
+        sched.budget_used = ndata["budget_used"]
+        sched.arrival_seq = ndata["arrival_seq"]
+        sched.poll_pending = ndata["poll_pending"]
+        sched.last_pid = ndata["last_pid"]
+        for pid, (kind, pdata) in ndata["procs"].items():
+            pctx = sched.proc_ctxs[pid]
+            template = self._templates[pid]
+            hook = getattr(template, "restore_process_state", None)
+            if kind == "hook":
+                if hook is None:
+                    raise CheckpointError(
+                        f"process template {type(template).__name__} "
+                        "cannot restore a hook-captured state"
+                    )
+                hook(pctx, pdata)
+            else:
+                pctx.state = pdata
+
     def snapshot(self, machine: Any) -> Any:
         """Capture every node's scheduler state as a detached ``LayerState``.
 
@@ -250,36 +298,28 @@ class SchedulerProgram:
         layers 4-5 inside); hookless templates are captured by raw
         deepcopy.  Either way one final :func:`copy.deepcopy` over the
         whole composite detaches the snapshot from the live run.
+
+        On a sharded machine the per-node captures are gathered from the
+        owning shard workers through ``machine.map_nodes`` — the snapshot
+        data (and therefore the checkpoint digest) is identical either
+        way, which is what lets a checkpoint hop between shard counts.
         """
         import copy
 
         from ..state import LayerState
 
-        nodes = []
-        for node in range(machine.topology.n_nodes):
-            sched: _NodeSched = machine.state_of(node)
-            procs: Dict[int, Tuple[str, Any]] = {}
-            for pid, template in enumerate(self._templates):
-                pstate = sched.proc_ctxs[pid].state
-                hook = getattr(template, "snapshot_process_state", None)
-                if hook is not None:
-                    procs[pid] = ("hook", hook(pstate))
-                else:
-                    procs[pid] = ("raw", pstate)
-            nodes.append(
-                {
-                    "queues": {pid: list(q) for pid, q in sched.queues.items()},
-                    "policy": sched.policy,
-                    "budget_step": sched.budget_step,
-                    "budget_used": sched.budget_used,
-                    "arrival_seq": sched.arrival_seq,
-                    "poll_pending": sched.poll_pending,
-                    "last_pid": sched.last_pid,
-                    "procs": procs,
-                }
-            )
+        n_nodes = machine.topology.n_nodes
+        map_nodes = getattr(machine, "map_nodes", None)
+        if map_nodes is not None:
+            per_node = map_nodes(_snapshot_node_rpc)
+            nodes = [per_node[node] for node in range(n_nodes)]
+        else:
+            nodes = [
+                self._snapshot_node(machine.state_of(node))
+                for node in range(n_nodes)
+            ]
         data = {
-            "n_nodes": machine.topology.n_nodes,
+            "n_nodes": n_nodes,
             "n_processes": len(self._templates),
             "nodes": nodes,
         }
@@ -307,30 +347,16 @@ class SchedulerProgram:
                 f"scheduler snapshot hosts {data['n_processes']} processes "
                 f"per node; this program hosts {len(self._templates)}"
             )
+        map_nodes = getattr(machine, "map_nodes", None)
+        if map_nodes is not None:
+            # scatter: each node's capture is restored inside its shard
+            map_nodes(
+                _restore_node_rpc,
+                {node: ndata for node, ndata in enumerate(data["nodes"])},
+            )
+            return
         for node, ndata in enumerate(data["nodes"]):
-            sched: _NodeSched = machine.state_of(node)
-            for pid, q in sched.queues.items():
-                q.clear()
-                q.extend(ndata["queues"].get(pid, ()))
-            sched.policy = ndata["policy"]
-            sched.budget_step = ndata["budget_step"]
-            sched.budget_used = ndata["budget_used"]
-            sched.arrival_seq = ndata["arrival_seq"]
-            sched.poll_pending = ndata["poll_pending"]
-            sched.last_pid = ndata["last_pid"]
-            for pid, (kind, pdata) in ndata["procs"].items():
-                pctx = sched.proc_ctxs[pid]
-                template = self._templates[pid]
-                hook = getattr(template, "restore_process_state", None)
-                if kind == "hook":
-                    if hook is None:
-                        raise CheckpointError(
-                            f"process template {type(template).__name__} "
-                            "cannot restore a hook-captured state"
-                        )
-                    hook(pctx, pdata)
-                else:
-                    pctx.state = pdata
+            self._restore_node(machine.state_of(node), ndata)
 
     # -- inspection helpers ----------------------------------------------
 
@@ -346,3 +372,16 @@ class SchedulerProgram:
     def n_processes(self) -> int:
         """Number of process templates per node."""
         return len(self._templates)
+
+
+# -- sharded-machine RPC callbacks (module-level: picklable by reference) --
+
+
+def _snapshot_node_rpc(program: SchedulerProgram, ctx: NodeContext, arg: Any) -> Any:
+    """Capture one node's scheduler state inside its shard worker."""
+    return program._snapshot_node(ctx.state)
+
+
+def _restore_node_rpc(program: SchedulerProgram, ctx: NodeContext, ndata: Any) -> None:
+    """Install one node's captured scheduler state inside its shard."""
+    program._restore_node(ctx.state, ndata)

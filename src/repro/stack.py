@@ -44,7 +44,16 @@ from .mapping import (
     make_mapper_factory,
     make_status_factory,
 )
-from .netsim import FaultModel, Machine, ReliableLinks, SimulationReport, TraceRecorder
+from .netsim import (
+    FaultModel,
+    Machine,
+    ReliableLinks,
+    ShardProgramSpec,
+    ShardedMachine,
+    SimulationReport,
+    TraceRecorder,
+    resolve_shards,
+)
 from .recursion import EngineStats, RecursionEngine, RecursiveFunction
 from .reliability import ReliabilityConfig
 from .rng import substream
@@ -59,6 +68,49 @@ __all__ = ["HyperspaceStack", "StackRun"]
 MapperSpec = Union[str, MapperFactory]
 #: status argument: None/"off", an int threshold, or a policy factory
 StatusSpec = Union[None, str, int, StatusPolicyFactory]
+
+
+def _build_stack_program(cfg: Dict[str, Any], telemetry=None) -> SchedulerProgram:
+    """Rebuild the layer 2-4 program tower from a picklable config.
+
+    This is the :class:`~repro.netsim.ShardProgramSpec` builder the
+    sharded backend ships to its workers: each worker reconstructs an
+    identical engine → mapping service → scheduler chain (same seeds,
+    same per-node substreams), wired to the worker's local telemetry bus.
+    The coordinator calls it too (with ``telemetry=None`` under the
+    process backend) so layer snapshots see the same template shape.
+    """
+    fn_source = cfg["fn_source"]
+    fn = fn_source.build() if isinstance(fn_source, ShardProgramSpec) else fn_source
+    engine = RecursionEngine(
+        fn, cancellation=cfg["cancellation"], telemetry=telemetry
+    )
+    mapper = cfg["mapper"]
+    mapper_factory = make_mapper_factory(mapper) if isinstance(mapper, str) else mapper
+    status = cfg["status"]
+    if status is None or isinstance(status, (str, int)):
+        status_factory = make_status_factory(status)
+    else:
+        status_factory = status
+    service = MappingService(
+        engine,
+        mapper_factory,
+        status_factory,
+        seed=cfg["seed"],
+        forward_hops=cfg["forward_hops"],
+        halt_on_result=cfg["halt_on_result"],
+        telemetry=telemetry,
+    )
+    return SchedulerProgram([service], budget=cfg["budget"], telemetry=telemetry)
+
+
+def _collect_node_rpc(program: SchedulerProgram, ctx, arg) -> Tuple[List[Any], Any]:
+    """Gather one node's external results + layer-4 stats from its shard."""
+    state = ctx.state.proc_ctxs[0].state
+    return (
+        list(MappingService.results_of(state)),
+        RecursionEngine.stats_of(MappingService.app_state_of(state)),
+    )
 
 
 class StackRun:
@@ -147,6 +199,22 @@ class HyperspaceStack:
         create a fresh bus.  The bus is threaded through every layer and
         exposed as :attr:`telemetry`; layer-5 probes are installed for the
         duration of each run.
+    shards:
+        Run the layer-1 backend sharded across worker processes
+        (:class:`~repro.netsim.ShardedMachine`): an int, ``"auto"`` (one
+        shard per CPU), or ``None`` (default) to consult ``REPRO_SHARDS``
+        and fall back to the serial machine.  Sharded runs are
+        bit-identical to serial ones — same schedule, verdicts, digests
+        and telemetry counters; see ``docs/parallelism.md``.  Work sharing
+        (``share_threshold``) and :meth:`run_ticketed` require the serial
+        backend.
+    shard_partitioner:
+        Node partitioning strategy for sharded runs: ``"strip"``
+        (default), ``"grid"``, or ``"greedy"`` — see
+        :mod:`repro.netsim.partition`.
+    shard_backend:
+        ``"auto"`` (default), ``"process"``, or ``"inline"`` — forwarded
+        to :class:`~repro.netsim.ShardedMachine`.
     """
 
     def __init__(
@@ -170,8 +238,14 @@ class HyperspaceStack:
         duplicate: float = 0.0,
         reliable: Union[bool, ReliabilityConfig] = False,
         telemetry: Union[None, bool, TelemetryBus] = None,
+        shards: Any = None,
+        shard_partitioner: str = "strip",
+        shard_backend: str = "auto",
     ) -> None:
         self.topology = topology
+        #: raw mapper/status specs, kept for shipping to shard workers
+        self._mapper_spec: MapperSpec = mapper
+        self._status_spec: StatusSpec = status
         self.mapper_factory: MapperFactory = (
             make_mapper_factory(mapper) if isinstance(mapper, str) else mapper
         )
@@ -201,10 +275,71 @@ class HyperspaceStack:
             telemetry = None
         #: the cross-layer event bus, or None when observability is off
         self.telemetry: Optional[TelemetryBus] = telemetry
+        #: shard count resolved once (explicit arg, then REPRO_SHARDS, then 1)
+        self.shards = min(resolve_shards(shards), topology.n_nodes)
+        self.shard_partitioner = shard_partitioner
+        self.shard_backend = shard_backend
+        if self.shards > 1 and self.share_threshold is not None:
+            raise SimulationError(
+                "work sharing (share_threshold) reads live inbox depths and "
+                "is not supported with shards > 1"
+            )
         #: populated by the most recent run_* call
         self.last_run: Optional[StackRun] = None
 
     # ------------------------------------------------------------------
+
+    def _build_faults(self):
+        if self.drop or self.duplicate:
+            # fresh fault stream per build: repeated runs on one stack
+            # instance see identical fault schedules
+            return FaultModel(
+                self.drop, self.duplicate, rng=substream(self.seed, "l1-faults")
+            )
+        return ReliableLinks
+
+    def _build_sharded(
+        self, fn_source: Any, halt_on_result: bool
+    ) -> Tuple[ShardedMachine, SchedulerProgram, MappingService]:
+        """Assemble the stack on the sharded backend.
+
+        ``fn_source`` is the layer-5 function itself (must pickle) or a
+        :class:`~repro.netsim.ShardProgramSpec` recipe for it; each worker
+        rebuilds the full layer 2-4 tower via :func:`_build_stack_program`.
+        """
+        cfg = {
+            "fn_source": fn_source,
+            "cancellation": self.cancellation,
+            "mapper": self._mapper_spec,
+            "status": self._status_spec,
+            "seed": self.seed,
+            "forward_hops": self.forward_hops,
+            "halt_on_result": halt_on_result,
+            "budget": self.scheduler_budget,
+        }
+        spec = ShardProgramSpec(_build_stack_program, cfg, telemetry_kwarg="telemetry")
+        trace = TraceRecorder(
+            self.topology.n_nodes, record_queue_depths=self.record_queue_depths
+        )
+        machine = ShardedMachine(
+            self.topology,
+            spec,
+            shards=self.shards,
+            partitioner=self.shard_partitioner,
+            shard_backend=self.shard_backend,
+            trace=trace,
+            queue_policy=self.queue_policy,
+            queue_capacity=self.queue_capacity,
+            seed=self.seed,
+            size_fn=self.size_fn,
+            latency=self.latency,
+            faults=self._build_faults(),
+            reliability=self.reliable,
+            telemetry=self.telemetry,
+        )
+        scheduler: SchedulerProgram = machine.program
+        service: MappingService = scheduler._templates[0]
+        return machine, scheduler, service
 
     def _build(
         self,
@@ -229,14 +364,7 @@ class HyperspaceStack:
         trace = TraceRecorder(
             self.topology.n_nodes, record_queue_depths=self.record_queue_depths
         )
-        if self.drop or self.duplicate:
-            # fresh fault stream per build: repeated runs on one stack
-            # instance see identical fault schedules
-            faults = FaultModel(
-                self.drop, self.duplicate, rng=substream(self.seed, "l1-faults")
-            )
-        else:
-            faults = ReliableLinks
+        faults = self._build_faults()
         machine = Machine(
             self.topology,
             scheduler,
@@ -259,6 +387,20 @@ class HyperspaceStack:
         trigger_node: NodeId,
         engine: Optional[RecursionEngine],
     ) -> StackRun:
+        map_nodes = getattr(machine, "map_nodes", None)
+        if map_nodes is not None:
+            # sharded: node state lives in the workers; one gather returns
+            # (results, engine stats) per node
+            per_node = map_nodes(_collect_node_rpc)
+            results = list(per_node[trigger_node][0])
+            engine_stats = None
+            if engine is not None:
+                engine_stats = EngineStats()
+                for node in self.topology.nodes():
+                    engine_stats.merge(per_node[node][1])
+            run = StackRun(machine, machine.report(), results, engine_stats, scheduler)
+            self.last_run = run
+            return run
         state = scheduler.process_state(machine, trigger_node)
         results = list(MappingService.results_of(state))
         engine_stats: Optional[EngineStats] = None
@@ -279,6 +421,11 @@ class HyperspaceStack:
         self, machine: Machine, scheduler: SchedulerProgram
     ) -> Dict[str, Any]:
         """Snapshot every active layer of a built machine, keyed by name."""
+        drain = getattr(machine, "drain_telemetry", None)
+        if drain is not None:
+            # relay pending worker events first so the telemetry layer's
+            # events_emitted matches a serial run's at this boundary
+            drain()
         layers: Dict[str, Any] = {
             "netsim": machine.snapshot(),
             "sched": scheduler.snapshot(machine),
@@ -376,6 +523,7 @@ class HyperspaceStack:
         checkpoint_sink: Optional[Callable[["StackCheckpoint"], None]] = None,
         checkpoint_meta: Optional[Dict[str, Any]] = None,
         resume_from: Union[None, str, Path, "StackCheckpoint"] = None,
+        fn_spec: Optional[ShardProgramSpec] = None,
     ) -> Tuple[Any, SimulationReport]:
         """Run a layer-5 recursive application to completion.
 
@@ -405,6 +553,13 @@ class HyperspaceStack:
         uninterrupted run it continues, not a fresh one.  With
         ``checkpoint_every=None`` (default) the run loop is byte-for-byte
         the uninstrumented one — checkpointing off costs nothing.
+
+        With ``shards > 1`` (constructor/``REPRO_SHARDS``) the run executes
+        on the sharded backend.  ``fn`` itself must then be picklable, or
+        ``fn_spec`` must supply a picklable
+        :class:`~repro.netsim.ShardProgramSpec` recipe rebuilding it
+        (needed for closures such as the SAT solver's); checkpoints taken
+        sharded resume serially and vice versa.
         """
         from .errors import CheckpointError
 
@@ -419,19 +574,26 @@ class HyperspaceStack:
                 "checkpoint_every needs a destination: checkpoint_dir "
                 "and/or checkpoint_sink"
             )
-        engine = RecursionEngine(
-            fn, cancellation=self.cancellation, telemetry=self.telemetry
-        )
-        from .mapping import queue_depth_load
+        if self.shards > 1:
+            machine, scheduler, service = self._build_sharded(
+                fn_spec if fn_spec is not None else fn,
+                halt_on_result=halt_on_result,
+            )
+            engine = service.app
+        else:
+            engine = RecursionEngine(
+                fn, cancellation=self.cancellation, telemetry=self.telemetry
+            )
+            from .mapping import queue_depth_load
 
-        load_fn = (
-            queue_depth_load
-            if self.share_load == "queue"
-            else RecursionEngine.load_probe
-        )
-        machine, scheduler, _service = self._build(
-            engine, halt_on_result=halt_on_result, load_fn=load_fn
-        )
+            load_fn = (
+                queue_depth_load
+                if self.share_load == "queue"
+                else RecursionEngine.load_probe
+            )
+            machine, scheduler, _service = self._build(
+                engine, halt_on_result=halt_on_result, load_fn=load_fn
+            )
         if resume_from is not None:
             from .state import StackCheckpoint, load_checkpoint
 
@@ -517,6 +679,11 @@ class HyperspaceStack:
         ``halt_on_result``).  Returns ``(results, report)`` where results
         are the external replies collected at the trigger node.
         """
+        if self.shards > 1:
+            raise SimulationError(
+                "run_ticketed supports only the serial backend; "
+                f"this stack is configured with shards={self.shards}"
+            )
         machine, scheduler, _service = self._build(app, halt_on_result=halt_on_result)
         machine.inject(trigger_node, trigger)
         machine.run(max_steps=max_steps)

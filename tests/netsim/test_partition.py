@@ -1,0 +1,126 @@
+"""Shard partitioners: validity, balance, edge-cut quality, determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.partition import (
+    PARTITIONERS,
+    edge_cut,
+    make_partition,
+    partition_greedy,
+    partition_grid_block,
+    partition_strip,
+    validate_partition,
+)
+from repro.topology import Grid, Hypercube, Line, Ring, Torus
+
+
+TOPOLOGIES = [
+    Torus((4, 4)),
+    Torus((6, 6)),
+    Grid((5, 7)),
+    Grid((8, 3)),
+    Ring(12),
+    Line(9),
+    Hypercube(4),
+]
+
+SHARD_COUNTS = [1, 2, 3, 4, 7]
+
+
+def every_node_once(topology, parts):
+    seen = sorted(n for part in parts for n in part)
+    return seen == list(topology.nodes())
+
+
+class TestValidity:
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_partition_is_valid_and_balanced(self, name, shards):
+        for topo in TOPOLOGIES:
+            if shards > topo.n_nodes:
+                continue
+            parts = make_partition(topo, shards, name)
+            assert len(parts) == shards
+            assert every_node_once(topo, parts)
+            sizes = [len(p) for p in parts]
+            assert max(sizes) - min(sizes) <= 1, (name, topo.describe(), sizes)
+            validate_partition(topo, parts)  # must not raise
+
+    def test_single_shard_owns_everything(self):
+        topo = Torus((4, 4))
+        for name in PARTITIONERS:
+            parts = make_partition(topo, 1, name)
+            assert parts == [list(topo.nodes())]
+
+    def test_shards_exceeding_nodes_rejected(self):
+        with pytest.raises(SimulationError, match="shard"):
+            make_partition(Line(4), 5)
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(SimulationError, match="partitioner"):
+            make_partition(Torus((4, 4)), 2, "voronoi")
+
+    def test_validate_rejects_missing_and_duplicate_nodes(self):
+        topo = Line(4)
+        with pytest.raises(SimulationError):
+            validate_partition(topo, [[0, 1], [2]])  # node 3 missing
+        with pytest.raises(SimulationError):
+            validate_partition(topo, [[0, 1], [1, 2, 3]])  # node 1 twice
+        with pytest.raises(SimulationError):
+            validate_partition(topo, [[0], [1, 2, 3]])  # unbalanced
+
+
+class TestEdgeCut:
+    def test_edge_cut_counts_crossing_links_once(self):
+        # a 4-ring split into halves {0,1} {2,3} cuts exactly the two
+        # links 1-2 and 3-0
+        assert edge_cut(Ring(4), [[0, 1], [2, 3]]) == 2
+
+    def test_strip_cut_on_torus_rows(self):
+        # strips of a 4x4 torus are whole rows: each boundary contributes
+        # 4 vertical links and the wrap-around adds the last<->first rows
+        topo = Torus((4, 4))
+        parts = partition_strip(topo, 4)
+        assert edge_cut(topo, parts) == 16
+
+    @pytest.mark.parametrize("topo", [Torus((6, 6)), Grid((6, 6)), Grid((8, 3))])
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_greedy_never_worse_than_strip(self, topo, shards):
+        strip_cut = edge_cut(topo, partition_strip(topo, shards))
+        greedy_cut = edge_cut(topo, partition_greedy(topo, shards))
+        assert greedy_cut <= strip_cut
+
+    def test_grid_block_beats_strip_on_wide_grid(self):
+        # splitting a 6x6 grid into 4 quadrant blocks (cut 12) beats four
+        # 9-node strips (cut 18)
+        topo = Grid((6, 6))
+        strip_cut = edge_cut(topo, partition_strip(topo, 4))
+        block_cut = edge_cut(topo, partition_grid_block(topo, 4))
+        assert block_cut < strip_cut
+
+    def test_grid_block_falls_back_on_one_dimensional_topologies(self):
+        # no second axis to block over: grid-block must still return a
+        # valid balanced partition
+        for topo in (Ring(10), Line(10), Hypercube(3)):
+            parts = partition_grid_block(topo, 2)
+            validate_partition(topo, parts)
+
+
+class TestDeterminism:
+    def test_same_seed_same_partition(self):
+        topo = Torus((6, 6))
+        a = partition_greedy(topo, 4, seed=7)
+        b = partition_greedy(topo, 4, seed=7)
+        assert a == b
+
+    def test_all_partitioners_are_pure_functions(self):
+        topo = Grid((5, 7))
+        for name in PARTITIONERS:
+            assert make_partition(topo, 3, name) == make_partition(topo, 3, name)
+
+    def test_greedy_seed_changes_at_most_the_layout_not_validity(self):
+        topo = Torus((6, 6))
+        for seed in range(4):
+            parts = partition_greedy(topo, 4, seed=seed)
+            validate_partition(topo, parts)

@@ -77,6 +77,50 @@ class TestFenceExtraction:
         assert (scratch / "made.txt").exists()
 
 
+class TestOrphanDetection:
+    def _docs(self, tmp_path, index_text, **pages):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "index.md").write_text(index_text)
+        for name, text in pages.items():
+            (docs / f"{name}.md").write_text(text)
+        return docs
+
+    def test_all_pages_reachable(self, tmp_path):
+        docs = self._docs(
+            tmp_path, "[a](a.md)\n", a="[b](b.md)\n", b="leaf\n"
+        )
+        assert check_docs.check_orphans(docs) == []
+
+    def test_orphan_reported_by_name(self, tmp_path):
+        docs = self._docs(tmp_path, "[a](a.md)\n", a="x\n", lost="y\n")
+        (error,) = check_docs.check_orphans(docs)
+        assert "lost.md" in error and "orphan page" in error
+
+    def test_reachability_is_transitive_not_just_direct(self, tmp_path):
+        # b is linked only from a, never from the index itself
+        docs = self._docs(
+            tmp_path, "[a](a.md)\n", a="[b](b.md)\n", b="z\n"
+        )
+        assert check_docs.check_orphans(docs) == []
+
+    def test_links_outside_docs_dir_do_not_count(self, tmp_path):
+        (tmp_path / "README.md").write_text("[lost](docs/lost.md)\n")
+        docs = self._docs(tmp_path, "see [readme](../README.md)\n", lost="y\n")
+        (error,) = check_docs.check_orphans(docs)
+        assert "lost.md" in error
+
+    def test_missing_index_reported(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "a.md").write_text("x\n")
+        (error,) = check_docs.check_orphans(docs)
+        assert "index missing" in error
+
+    def test_real_docs_tree_has_no_orphans(self):
+        assert check_docs.check_orphans(check_docs.REPO_ROOT / "docs") == []
+
+
 class TestDriver:
     def test_main_fails_on_missing_file(self, capsys):
         rc = check_docs.main(["/nonexistent/doc.md"])

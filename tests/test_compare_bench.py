@@ -18,7 +18,8 @@ HOST = {"platform": "Linux-test", "cpu_count": 4, "python": "3.11.7"}
 
 
 def make_doc(storm=600_000, flood=300_000, sparse=90_000, metrics_pct=5.0,
-             clean_pct=40.0, combined_pct=45.0, host=HOST):
+             clean_pct=40.0, combined_pct=45.0, shard_pct=40.0,
+             shard_storm=150_000, host=HOST):
     return {
         "schema": "repro-bench-baseline/2",
         "host": dict(host),
@@ -42,6 +43,10 @@ def make_doc(storm=600_000, flood=300_000, sparse=90_000, metrics_pct=5.0,
             "on_faulty_overhead_pct": clean_pct + 20.0,
         },
         "protected_instrumented": {"overhead_pct": combined_pct},
+        "sharded": {
+            "inline_overhead_pct": shard_pct,
+            "storm_process2": shard_storm,
+        },
     }
 
 
@@ -87,6 +92,18 @@ class TestCompare:
         st = statuses(compare_bench.compare(base, new, 10.0))
         assert st["microbenchmark.storm_torus400"] == "skipped"
         assert st["reliability_overhead.on_clean_overhead_pct"] == "regressed"
+
+    def test_sharded_overhead_increase_fails(self):
+        base, new = make_doc(shard_pct=40.0), make_doc(shard_pct=55.0)  # +15pt
+        st = statuses(compare_bench.compare(base, new, 10.0))
+        assert st["sharded.inline_overhead_pct"] == "regressed"
+
+    def test_sharded_rate_is_host_gated(self):
+        other = dict(HOST, cpu_count=64)
+        base = make_doc()
+        new = make_doc(shard_storm=10_000, host=other)
+        st = statuses(compare_bench.compare(base, new, 10.0))
+        assert st["sharded.storm_process2"] == "skipped"
 
     def test_missing_key_is_skipped_not_failed(self):
         base = make_doc()

@@ -1,6 +1,6 @@
-"""Documentation checker: dead relative links + executable code fences.
+"""Documentation checker: dead links, executable fences, orphan pages.
 
-Two independent checks over the repository's markdown:
+Three independent checks over the repository's markdown:
 
 1. **Links** — every relative markdown link ``[text](path)`` must point at
    a file or directory that exists (anchors and external ``http(s)``/
@@ -9,6 +9,9 @@ Two independent checks over the repository's markdown:
    file share a namespace and run top to bottom, so tutorial-style
    documents may build on earlier snippets.  A fence whose first line
    contains ``doc: skip`` is excluded (e.g. illustrative fragments).
+3. **Orphans** — every ``docs/*.md`` page must be reachable from
+   ``docs/index.md`` by following relative links, so the docs map stays
+   complete.  (Runs in the default no-arguments mode.)
 
 Fences run with the working directory set to a scratch directory, so
 snippets that write files cannot pollute the checkout.
@@ -74,6 +77,37 @@ def check_links(path: Path) -> List[str]:
     return errors
 
 
+# -- orphan detection ------------------------------------------------------
+
+
+def check_orphans(docs_dir: Path, index_name: str = "index.md") -> List[str]:
+    """Every ``*.md`` under ``docs_dir`` must be reachable from the index.
+
+    Walks relative links breadth-first from ``docs_dir/index_name`` and
+    reports pages no link path reaches — pages the docs map forgot.
+    """
+    index = docs_dir / index_name
+    if not index.exists():
+        return [f"{docs_dir.name}/{index_name}: docs index missing"]
+    pages = {p.resolve() for p in docs_dir.glob("*.md")}
+    reached = {index.resolve()}
+    frontier = [index.resolve()]
+    while frontier:
+        page = frontier.pop()
+        for _, target in iter_relative_links(page.read_text()):
+            if not target:
+                continue
+            resolved = (page.parent / target).resolve()
+            if resolved in pages and resolved not in reached:
+                reached.add(resolved)
+                frontier.append(resolved)
+    return [
+        f"{docs_dir.name}/{orphan.name}: orphan page (unreachable from "
+        f"{docs_dir.name}/{index_name})"
+        for orphan in sorted(pages - reached)
+    ]
+
+
 # -- fence execution -------------------------------------------------------
 
 
@@ -133,9 +167,15 @@ def main(argv: List[str] | None = None) -> int:
         "--links-only", action="store_true", help="skip fence execution"
     )
     args = parser.parse_args(argv)
+    explicit = bool(args.files)
     files = [f.resolve() for f in args.files] or default_files()
 
     failures: List[str] = []
+    if not explicit:
+        orphan_errors = check_orphans(REPO_ROOT / "docs")
+        failures.extend(orphan_errors)
+        status = "FAIL" if orphan_errors else "ok"
+        print(f"[{status}] docs/ (orphan check)")
     with tempfile.TemporaryDirectory(prefix="check_docs_") as scratch:
         for path in files:
             if not path.exists():

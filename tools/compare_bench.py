@@ -51,6 +51,8 @@ COMPARISONS: List[Tuple[str, str]] = [
     ("reliability_overhead.on_clean_overhead_pct", "pct"),
     ("reliability_overhead.on_faulty_overhead_pct", "pct"),
     ("protected_instrumented.overhead_pct", "pct"),
+    ("sharded.inline_overhead_pct", "pct"),
+    ("sharded.storm_process2", "rate"),
 ]
 
 #: host fields that must all match before absolute rates are comparable
