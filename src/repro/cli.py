@@ -9,7 +9,10 @@ Commands
 ``figure4``   regenerate the paper's Figure 4 scalability table;
 ``figure5``   regenerate the paper's Figure 5 traces and heatmaps;
 ``trace``     run a packaged workload with full telemetry and write a
-              Chrome/Perfetto trace (open at https://ui.perfetto.dev).
+              Chrome/Perfetto trace (open at https://ui.perfetto.dev);
+``fuzz``      differential conformance fuzzing: sample seeded configs and
+              assert every execution mode (serial / sharded / resume /
+              fault-free / sequential reference) agrees (docs/testing.md).
 """
 
 from __future__ import annotations
@@ -148,6 +151,54 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--topology", default=None, help="override machine spec")
     trace.add_argument("--seed", type=int, default=2017)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing across execution modes",
+        description=(
+            "Sample seeded configurations (topology x workload x mapper x "
+            "heuristic x faults x reliability x shards x checkpoint point) "
+            "and run each through every applicable execution mode, "
+            "asserting verdict, state-digest, schedule-digest and "
+            "telemetry-counter parity.  Discrepancies are shrunk to a "
+            "minimal config and written as replayable artifacts "
+            "(docs/testing.md)."
+        ),
+    )
+    fuzz.add_argument("--seed", type=int, default=9,
+                      help="sampler seed (same seed = same configs everywhere)")
+    fuzz.add_argument("--budget", type=int, default=200, metavar="N",
+                      help="number of configurations to sample (default 200)")
+    fuzz.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="re-run the oracle on a saved discrepancy artifact instead of "
+             "sampling; exits 1 while the discrepancy still reproduces",
+    )
+    fuzz.add_argument(
+        "--modes", default=None, metavar="M[,M...]",
+        help="restrict the compared modes (comma-separated subset of "
+             "sharded,resume,fault_free,reference; the serial baseline "
+             "always runs)",
+    )
+    fuzz.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="stop sampling early after this many seconds (bounded CI "
+             "smoke runs)",
+    )
+    fuzz.add_argument(
+        "--artifact-dir", default="fuzz_artifacts", metavar="DIR",
+        help="where shrunk discrepancy artifacts are written "
+             "(default: ./fuzz_artifacts)",
+    )
+    fuzz.add_argument(
+        "--shard-backend", default="inline", choices=["inline", "process"],
+        help="worker backend for the sharded comparison runs (default "
+             "inline: identical semantics without process spawn cost)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="record discrepancies as sampled, without minimization",
+    )
+
     return parser
 
 
@@ -202,26 +253,40 @@ def _cmd_solve(args) -> int:
         from .reliability import ReliabilityConfig
 
         reliable = ReliabilityConfig(retry_limit=args.retry_limit)
-    res = solve_on_machine(
-        cnf,
-        topo,
-        mapper=args.mapper,
-        status=args.status,
-        heuristic=args.heuristic,
-        simplify=args.simplify,
-        seed=args.seed,
-        drop=args.drop,
-        duplicate=args.dup,
-        reliable=reliable,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_dir=args.checkpoint_dir if args.checkpoint_every else None,
-        resume_from=resume_ckpt,
-        topology_spec=args.topology,
-        # --shards is honoured on --resume too: checkpoints carry no shard
-        # count, so a run may be checkpointed sharded and resumed serially
-        shards=args.shards,
-        shard_partitioner=args.shard_partitioner,
-    )
+    from .errors import ApplicationError, SimulationError
+    from .netsim import resolve_shards
+
+    try:
+        n_shards = min(resolve_shards(args.shards), topo.n_nodes)
+    except SimulationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        res = solve_on_machine(
+            cnf,
+            topo,
+            mapper=args.mapper,
+            status=args.status,
+            heuristic=args.heuristic,
+            simplify=args.simplify,
+            seed=args.seed,
+            drop=args.drop,
+            duplicate=args.dup,
+            reliable=reliable,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir if args.checkpoint_every else None,
+            resume_from=resume_ckpt,
+            topology_spec=args.topology,
+            # --shards is honoured on --resume too: checkpoints carry no shard
+            # count, so a run may be checkpointed sharded and resumed serially
+            shards=n_shards,
+            shard_partitioner=args.shard_partitioner,
+        )
+    except (ApplicationError, SimulationError) as exc:
+        # contradictory flag combinations (e.g. --shards with the shared-RNG
+        # 'random' heuristic) are usage errors, not crashes
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     seq = dpll_solve(cnf)
     if res.satisfiable != seq.satisfiable:
         print("ERROR: distributed and sequential solvers disagree", file=sys.stderr)
@@ -235,9 +300,6 @@ def _cmd_solve(args) -> int:
     if not args.quiet:
         rep = res.report
         print(f"c machine            {topo.describe()} ({args.mapper})")
-        from .netsim import resolve_shards
-
-        n_shards = min(resolve_shards(args.shards), topo.n_nodes)
         if n_shards > 1:
             print(
                 f"c sharded backend    {n_shards} worker processes "
@@ -391,6 +453,71 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .conformance import MODE_NAMES, ArtifactError, replay_artifact, run_fuzz
+
+    modes = None
+    if args.modes is not None:
+        modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+        unknown = sorted(set(modes) - set(MODE_NAMES))
+        if unknown:
+            print(
+                f"error: unknown modes {', '.join(unknown)} "
+                f"(known: {', '.join(MODE_NAMES)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.replay is not None:
+        try:
+            result = replay_artifact(args.replay, shard_backend=args.shard_backend)
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"replayed   {args.replay}")
+        print(f"config     {result.config.describe()}")
+        print(f"modes run  {', '.join(result.modes_run)}")
+        if result.ok:
+            print("verdict    discrepancy did NOT reproduce (all modes agree)")
+            return 0
+        d = result.discrepancy
+        print(f"verdict    discrepancy reproduces: {d.mode}/{d.kind}")
+        print(f"detail     {d.detail}")
+        return 1
+
+    if args.budget < 1:
+        print(f"error: --budget must be >= 1, got {args.budget}", file=sys.stderr)
+        return 2
+    report = run_fuzz(
+        args.seed,
+        args.budget,
+        modes=modes,
+        shard_backend=args.shard_backend,
+        artifact_dir=args.artifact_dir,
+        time_limit=args.time_limit,
+        shrink=not args.no_shrink,
+        progress=print,
+    )
+    print(f"seed       {args.seed}")
+    print(f"configs    {report.configs_checked}/{args.budget} checked "
+          f"in {report.elapsed:.1f}s")
+    runs = ", ".join(f"{m}={n}" for m, n in sorted(report.mode_runs.items()))
+    print(f"mode runs  {runs}")
+    if report.ok:
+        print("verdict    all execution modes agree on every sampled config")
+        return 0
+    print(f"verdict    {len(report.discrepancies)} DISCREPANCIES", file=sys.stderr)
+    for disc, path in zip(
+        report.discrepancies,
+        report.artifact_paths or [None] * len(report.discrepancies),
+    ):
+        print(f"  {disc.mode}/{disc.kind}: {disc.config.describe()}", file=sys.stderr)
+        if path is not None:
+            print(f"    artifact: {path} (re-run: repro fuzz --replay {path})",
+                  file=sys.stderr)
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -401,6 +528,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure4": _cmd_figure4,
         "figure5": _cmd_figure5,
         "trace": _cmd_trace,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

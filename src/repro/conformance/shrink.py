@@ -1,0 +1,197 @@
+"""Automatic shrinking of a failing config to a minimal repro.
+
+Given a configuration on which the oracle found a discrepancy and a
+``failing`` predicate (``config -> bool``, True while the failure still
+reproduces), :func:`shrink_config` delta-debugs in two phases:
+
+1. **Dimension sweep** — repeatedly try moving each config dimension to
+   its :data:`~repro.conformance.space.DEFAULT_CONFIG` value (workload
+   first: collapsing it deletes heuristic/simplify/hint riders in one
+   move), keeping any change under which the failure persists, until a
+   full pass changes nothing.  The result reads as "default everything
+   except ...".
+2. **Size minimisation** — shrink the workload argument itself: fib and
+   N-queens ``n`` walk down to the smallest still-failing value; a SAT
+   generator recipe is first materialised into explicit clauses, then
+   classic ddmin removes clause subsets, then unreferenced variables are
+   compacted away.  (If the workload's canonical default parameters
+   already fail, they win outright — a canonical repro beats a merely
+   small one.)
+
+The predicate is injectable precisely so the shrinker can be tested with
+a deliberately-broken oracle stub; ``max_evals`` bounds the number of
+predicate calls, since each real call replays several full simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .space import (
+    DEFAULT_CONFIG,
+    DEFAULT_WORKLOAD_PARAMS,
+    DIMENSIONS,
+    FuzzConfig,
+    build_cnf,
+)
+
+__all__ = ["shrink_config"]
+
+
+class _Budget:
+    """Counts predicate evaluations; the shrinker stops when exhausted."""
+
+    def __init__(self, failing: Callable[[FuzzConfig], bool], max_evals: int) -> None:
+        self._failing = failing
+        self.remaining = max_evals
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+    def fails(self, config: FuzzConfig) -> bool:
+        if self.exhausted:
+            return False
+        self.remaining -= 1
+        return bool(self._failing(config))
+
+
+def _default_candidate(config: FuzzConfig, dim: str) -> Optional[FuzzConfig]:
+    """``config`` with ``dim`` moved to its default, or None if already there."""
+    default = getattr(DEFAULT_CONFIG, dim)
+    if getattr(config, dim) == default:
+        return None
+    changes: Dict[str, Any] = {dim: default}
+    if dim == "workload":
+        # the params travel with the workload they parameterise
+        changes["workload_params"] = dict(DEFAULT_WORKLOAD_PARAMS[default])
+    return config.with_(**changes)
+
+
+def _sweep_dimensions(config: FuzzConfig, budget: _Budget) -> FuzzConfig:
+    changed = True
+    while changed and not budget.exhausted:
+        changed = False
+        for dim in DIMENSIONS:
+            candidate = _default_candidate(config, dim)
+            if candidate is not None and budget.fails(candidate):
+                config = candidate
+                changed = True
+    return config
+
+
+# -- size minimisation ------------------------------------------------------
+
+
+def _shrink_int_param(
+    config: FuzzConfig, key: str, floor: int, budget: _Budget
+) -> FuzzConfig:
+    """Walk an integer workload parameter down to the smallest failing value."""
+    current = config.workload_params[key]
+    for value in range(floor, current):
+        candidate = config.with_(workload_params={**config.workload_params, key: value})
+        if budget.fails(candidate):
+            return candidate
+        if budget.exhausted:
+            break
+    return config
+
+
+def _with_clauses(
+    config: FuzzConfig, clauses: Sequence[Tuple[int, ...]]
+) -> FuzzConfig:
+    num_vars = max((abs(l) for c in clauses for l in c), default=1)
+    return config.with_(workload_params={
+        "clauses": [list(c) for c in clauses],
+        "num_vars": num_vars,
+    })
+
+
+def _ddmin_clauses(
+    config: FuzzConfig, clauses: List[Tuple[int, ...]], budget: _Budget
+) -> FuzzConfig:
+    """Zeller's ddmin over the clause list (complements first)."""
+    n = 2
+    while len(clauses) >= 2 and not budget.exhausted:
+        chunk = max(1, len(clauses) // n)
+        reduced = False
+        for start in range(0, len(clauses), chunk):
+            complement = clauses[:start] + clauses[start + chunk:]
+            if complement and budget.fails(_with_clauses(config, complement)):
+                clauses = complement
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(clauses):
+                break
+            n = min(len(clauses), n * 2)
+    return _with_clauses(config, clauses)
+
+
+def _shrink_sat(config: FuzzConfig, budget: _Budget) -> FuzzConfig:
+    # materialise the generator recipe so single clauses become removable
+    if "clauses" not in config.workload_params:
+        cnf = build_cnf(config)
+        explicit = _with_clauses(config, cnf.clauses)
+        if not budget.fails(explicit):
+            return config  # materialisation changed behaviour; keep recipe
+        config = explicit
+    clauses = [tuple(c) for c in config.workload_params["clauses"]]
+    config = _ddmin_clauses(config, clauses, budget)
+    # compact variable names so num_vars reflects what the formula uses
+    clauses = [tuple(c) for c in config.workload_params["clauses"]]
+    used = sorted({abs(l) for c in clauses for l in c})
+    renumber = {v: i + 1 for i, v in enumerate(used)}
+    if renumber != {v: v for v in used}:
+        renamed = [
+            tuple(renumber[abs(l)] * (1 if l > 0 else -1) for l in c)
+            for c in clauses
+        ]
+        candidate = _with_clauses(config, renamed)
+        if budget.fails(candidate):
+            config = candidate
+    return config
+
+
+def _shrink_size(config: FuzzConfig, budget: _Budget) -> FuzzConfig:
+    # a canonical repro beats a merely small one: params already at (or
+    # movable to) the workload default end the size phase right there
+    defaults = DEFAULT_WORKLOAD_PARAMS[config.workload]
+    if config.workload_params == defaults:
+        return config
+    candidate = config.with_(workload_params=dict(defaults))
+    if budget.fails(candidate):
+        return candidate
+    if config.workload == "fib":
+        return _shrink_int_param(config, "n", 0, budget)
+    if config.workload == "nqueens":
+        return _shrink_int_param(config, "n", 1, budget)
+    if config.workload == "sat":
+        return _shrink_sat(config, budget)
+    return config  # traversal carries no size parameter
+
+
+def shrink_config(
+    config: FuzzConfig,
+    failing: Callable[[FuzzConfig], bool],
+    *,
+    max_evals: int = 400,
+) -> FuzzConfig:
+    """Reduce ``config`` to a minimal configuration still satisfying
+    ``failing``.
+
+    ``failing(config) -> bool`` must return True while the original
+    failure reproduces (for the fuzzer this wraps
+    :func:`~repro.conformance.oracle.check_config`; tests inject stubs).
+    The input config is required to fail; if it does not, it is returned
+    unchanged.  At most ``max_evals`` predicate calls are spent.
+    """
+    budget = _Budget(failing, max_evals)
+    if not budget.fails(config):
+        return config
+    config = _sweep_dimensions(config, budget)
+    config = _shrink_size(config, budget)
+    # size changes can unlock further dimension collapses (and vice versa
+    # is already covered by the sweep's fixpoint loop)
+    return _sweep_dimensions(config, budget)

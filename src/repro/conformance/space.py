@@ -1,0 +1,244 @@
+"""The fuzzer's configuration space: dimensions, defaults, seeded sampling.
+
+A :class:`FuzzConfig` is one point in the cross product the conformance
+oracle differences: topology x workload x mapper x heuristic x fault
+schedule x reliability x shard count x checkpoint-resume point (plus the
+cheap riders: status threshold, simplification depth, hint mode, drain
+protocol, partitioner).  Configs are plain JSON-round-trippable data so a
+failing one can be written verbatim into a replayable artifact and into
+the pinned corpus under ``tests/conformance/corpus/``.
+
+:func:`sample_configs` is the seeded sampler: one ``random.Random(seed)``
+stream drives every draw, so a ``(seed, budget)`` pair names the exact
+same config list on every machine — which is what lets CI replay a local
+fuzz run bit-for-bit.
+
+``DEFAULT_CONFIG`` is the shrinker's target: delta-debugging moves every
+dimension it can toward these values, so a minimized repro reads as
+"default everything except ...".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ApplicationError
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "DIMENSIONS",
+    "FuzzConfig",
+    "build_cnf",
+    "sample_configs",
+]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One sampled point of the conformance space (plain, JSON-safe data).
+
+    ``workload_params`` is workload-specific: ``{"n": ...}`` for ``fib``
+    and ``nqueens``, nothing for ``traversal``, and for ``sat`` either a
+    generator recipe ``{"num_vars", "num_clauses", "formula_seed"}`` or an
+    explicit formula ``{"clauses": [[...]], "num_vars": ...}`` (the form
+    the shrinker rewrites to so it can delta-debug single clauses).
+    """
+
+    workload: str = "fib"
+    workload_params: Dict[str, Any] = field(default_factory=lambda: {"n": 5})
+    topology: str = "ring:4"
+    mapper: str = "rr"
+    status: Optional[int] = None
+    heuristic: str = "max_occurrence"
+    simplify: str = "single"
+    hint_mode: Optional[str] = None
+    drain: bool = True
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reliable: bool = False
+    shards: int = 1
+    partitioner: str = "strip"
+    ckpt_step: Optional[int] = None
+    max_steps: int = 5000
+
+    # -- (de)serialisation ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-encodable; artifact/corpus payload)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = set(cls.__dataclass_fields__)
+        extra = sorted(set(data) - known)
+        if extra:
+            raise ApplicationError(f"unknown FuzzConfig fields: {extra}")
+        return cls(**data)
+
+    def with_(self, **changes: Any) -> "FuzzConfig":
+        """A copy with ``changes`` applied (shrinker convenience)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human summary (fuzz-loop progress, artifacts)."""
+        parts = [f"{self.workload}{self.workload_params}", self.topology,
+                 f"mapper={self.mapper}"]
+        if self.status is not None:
+            parts.append(f"status={self.status}")
+        if self.workload == "sat":
+            parts.append(f"heur={self.heuristic}/{self.simplify}")
+        if self.drop or self.duplicate:
+            guard = "reliable" if self.reliable else "unprotected"
+            parts.append(f"faults={self.drop}/{self.duplicate}({guard})")
+        elif self.reliable:
+            parts.append("reliable")
+        if self.shards > 1:
+            parts.append(f"shards={self.shards}({self.partitioner})")
+        if self.ckpt_step is not None:
+            parts.append(f"ckpt@{self.ckpt_step}")
+        parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+
+#: the shrinker's target values, one per dimension
+DEFAULT_CONFIG = FuzzConfig()
+
+#: dimension names in the order the shrinker sweeps them (workload first:
+#: collapsing the workload usually deletes the most moving parts at once)
+DIMENSIONS: Tuple[str, ...] = (
+    "workload",
+    "topology",
+    "mapper",
+    "status",
+    "heuristic",
+    "simplify",
+    "hint_mode",
+    "drain",
+    "drop",
+    "duplicate",
+    "reliable",
+    "shards",
+    "partitioner",
+    "ckpt_step",
+    "seed",
+)
+
+#: canonical default workload_params per workload (shrinker + sampler)
+DEFAULT_WORKLOAD_PARAMS: Dict[str, Dict[str, Any]] = {
+    "fib": {"n": 5},
+    "nqueens": {"n": 4},
+    "traversal": {},
+    "sat": {"num_vars": 6, "num_clauses": 14, "formula_seed": 0},
+}
+
+
+def build_cnf(config: FuzzConfig):
+    """Materialise the config's CNF formula (``sat`` workloads only).
+
+    Generator-recipe params are expanded through
+    :func:`repro.apps.sat.generator.uniform_random_ksat` (unfiltered, so
+    both SAT and UNSAT instances occur); explicit-clause params are used
+    verbatim.  Deterministic: the formula is a pure function of the
+    params.
+    """
+    from ..apps.sat.cnf import CNF
+    from ..apps.sat.generator import uniform_random_ksat
+
+    params = config.workload_params
+    if "clauses" in params:
+        return CNF([tuple(c) for c in params["clauses"]], params["num_vars"])
+    rng = random.Random(params["formula_seed"])
+    k = min(3, params["num_vars"])
+    return uniform_random_ksat(params["num_vars"], params["num_clauses"], k, rng)
+
+
+# -- sampling ---------------------------------------------------------------
+
+#: small machines only: every config must run in milliseconds, because the
+#: oracle runs each one several times over
+_TOPOLOGIES = (
+    "ring:4", "ring:6", "line:5", "star:5",
+    "torus2d:3x3", "torus2d:4x4", "torus2d:2x3",
+    "grid:3x3", "grid:2x4", "hypercube:3", "full:6", "tree:2x3",
+)
+_MAPPERS = ("rr", "rr", "lbn", "random", "hint")
+_STATUSES = (None, None, None, 4, 16)
+_HEURISTICS = ("max_occurrence", "max_occurrence", "first",
+               "jeroslow_wang", "moms", "random")
+_SIMPLIFY = ("none", "single", "single", "fixpoint")
+_HINT_MODES = (None, None, None, "clauses", "vars")
+_WORKLOADS = ("sat", "sat", "sat", "fib", "nqueens", "traversal")
+_SHARDS = (1, 1, 2, 2, 3, 4)
+_PARTITIONERS = ("strip", "strip", "grid", "greedy")
+_CKPT_STEPS = (None, None, 5, 10, 20, 40)
+_DROPS = (0.02, 0.05, 0.1)
+_DUPS = (0.0, 0.02, 0.05)
+
+
+def _sample_workload_params(workload: str, rng: random.Random) -> Dict[str, Any]:
+    if workload == "fib":
+        return {"n": rng.randrange(3, 10)}
+    if workload == "nqueens":
+        # n=2/3 have no solution, n=1/4/5/6 do — both verdicts get coverage
+        return {"n": rng.randrange(2, 7)}
+    if workload == "traversal":
+        return {}
+    num_vars = rng.randrange(5, 10)
+    # straddle the satisfiability threshold (~4.27 clauses/var for 3-SAT)
+    ratio = rng.choice((3.0, 4.3, 5.5))
+    return {
+        "num_vars": num_vars,
+        "num_clauses": max(1, round(num_vars * ratio)),
+        "formula_seed": rng.randrange(1_000_000),
+    }
+
+
+def sample_one(rng: random.Random) -> FuzzConfig:
+    """Draw one configuration from the space (all draws from ``rng``)."""
+    workload = rng.choice(_WORKLOADS)
+    faulty = rng.random() < 0.35
+    drop = rng.choice(_DROPS) if faulty else 0.0
+    duplicate = rng.choice(_DUPS) if faulty else 0.0
+    if drop == 0.0 and duplicate == 0.0:
+        faulty = False
+    # protected faulty runs dominate (they admit the fault-free comparison);
+    # unprotected faults and clean-link protocol runs keep their code paths
+    # covered too
+    reliable = (rng.random() < 0.75) if faulty else (rng.random() < 0.1)
+    return FuzzConfig(
+        workload=workload,
+        workload_params=_sample_workload_params(workload, rng),
+        topology=rng.choice(_TOPOLOGIES),
+        mapper=rng.choice(_MAPPERS),
+        status=rng.choice(_STATUSES),
+        heuristic=rng.choice(_HEURISTICS),
+        simplify=rng.choice(_SIMPLIFY),
+        hint_mode=rng.choice(_HINT_MODES),
+        drain=rng.random() < 0.75,
+        seed=rng.randrange(10_000),
+        drop=drop,
+        duplicate=duplicate,
+        reliable=reliable,
+        shards=rng.choice(_SHARDS),
+        partitioner=rng.choice(_PARTITIONERS),
+        ckpt_step=rng.choice(_CKPT_STEPS),
+        max_steps=5000,
+    )
+
+
+def sample_configs(seed: int, budget: int) -> Iterator[FuzzConfig]:
+    """Yield ``budget`` configurations, a pure function of ``seed``."""
+    if budget < 0:
+        raise ApplicationError(f"budget must be >= 0, got {budget}")
+    rng = random.Random(seed)
+    for _ in range(budget):
+        yield sample_one(rng)
+
+
+def sample_list(seed: int, budget: int) -> List[FuzzConfig]:
+    """Eager form of :func:`sample_configs` (tests, corpus tooling)."""
+    return list(sample_configs(seed, budget))

@@ -1,0 +1,456 @@
+"""Mode adapters: run one :class:`FuzzConfig` in one execution mode.
+
+Every adapter returns a :class:`RunOutcome` with the four comparands the
+oracle differences across modes:
+
+* ``verdict`` — plain data: the solver's answer (model / value /
+  placement / visited set), or ``("incomplete",)`` when the step budget
+  ran out first;
+* ``schedule_digest`` — :func:`~repro.netsim.digest.canonical_digest` of
+  the run's observable schedule (verdict + step count + computation time
+  + send/deliver/drop totals + the per-step queue-depth series);
+* ``state_digest`` — :func:`~repro.state.state_digest_of` over the final
+  semantic layer states (netsim/sched/reliability).  The telemetry layer
+  is digested separately as ``counters``: its counter values must match
+  across modes, but gauge *last-seen* values depend on event-relay
+  interleaving (the documented sharded relaxation), so they are excluded
+  here exactly as in ``tests/test_sharded_stack.py``;
+* ``counters`` — the filtered :class:`~repro.telemetry.metrics.MetricsSubscriber`
+  registry (shard-only partition counters removed, gauge ``last`` popped).
+
+The serial adapter doubles as the checkpoint producer: when the config
+carries a ``ckpt_step`` it captures the in-flight checkpoints so the
+resume adapter can restart from the first one and the oracle can demand
+the resumed run land on the identical final outcome.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..netsim import EMPTY_MSG, Machine, ShardProgramSpec, ShardedMachine
+from ..netsim.digest import canonical_digest
+from ..netsim.faults import FaultModel, ReliableLinks
+from ..rng import substream
+from ..stack import HyperspaceStack
+from ..state import state_digest_of
+from ..telemetry import TelemetryBus
+from ..telemetry.metrics import MetricsSubscriber
+from ..topology import Topology, topology_from_spec
+from .space import FuzzConfig, build_cnf
+
+__all__ = [
+    "RunOutcome",
+    "SHARD_ONLY_METRICS",
+    "applicable_modes",
+    "run_mode",
+]
+
+#: the sharded coordinator reports its partition through these counters; a
+#: serial run has no partition, so parity comparisons must ignore them
+SHARD_ONLY_METRICS = ("l1.shard_count", "l1.shard_edge_cut")
+
+#: verdict marker for runs that exhausted max_steps without an answer
+INCOMPLETE: Tuple[str] = ("incomplete",)
+
+
+@dataclass
+class RunOutcome:
+    """Everything the oracle compares about one run of one mode."""
+
+    mode: str
+    completed: bool
+    verdict: Any
+    schedule_digest: str
+    state_digest: Optional[str]
+    counters: Dict[str, Dict[str, Any]]
+    #: in-flight checkpoints (serial baseline only, when ckpt applies)
+    checkpoints: List[Any] = field(default_factory=list)
+
+    def coarse_verdict(self) -> Any:
+        """The schedule-independent part of the verdict.
+
+        Full verdicts embed schedule-dependent choices (which model, which
+        placement); runs that legitimately take different schedules — the
+        fault-free baseline of a protected faulty run, the sequential
+        reference — can only be held to this.
+        """
+        if self.verdict == INCOMPLETE or not isinstance(self.verdict, dict):
+            return self.verdict
+        kind = self.verdict.get("kind")
+        if kind == "sat":
+            return {"kind": "sat", "sat": self.verdict["sat"]}
+        if kind == "nqueens":
+            return {"kind": "nqueens", "found": self.verdict["placement"] is not None}
+        return self.verdict  # fib value / traversal visited set are unique
+
+
+# -- applicability ----------------------------------------------------------
+
+
+def checkpointable(config: FuzzConfig) -> bool:
+    """Can this config run under checkpoint/resume?
+
+    ``traversal`` is a bare layer-1 program: :meth:`Machine.snapshot`
+    covers the netsim core but node *program* state belongs to the layer-2
+    snapshot protocol, which a program-less machine does not run.  The
+    ``"random"`` SAT heuristic shares one RNG stream across invocations
+    and is rejected by the checkpoint protocol.
+    """
+    if config.workload == "traversal":
+        return False
+    if config.workload == "sat" and config.heuristic == "random":
+        return False
+    return True
+
+
+def shardable(config: FuzzConfig) -> bool:
+    """Can this config run on the sharded backend?
+
+    Everything except the shared-RNG ``"random"`` SAT heuristic (each
+    worker would hold its own copy and the draws would diverge).
+    """
+    return not (config.workload == "sat" and config.heuristic == "random")
+
+
+def applicable_modes(config: FuzzConfig) -> List[str]:
+    """The execution modes the oracle will run for ``config``.
+
+    ``serial`` is always first (it is the baseline the others are compared
+    against).  ``fault_free`` and ``reference`` are comparison runs, not
+    alternate backends: the former re-runs a reliability-protected faulty
+    config on clean links, the latter consults the sequential solver.
+    """
+    modes = ["serial"]
+    if config.shards > 1 and shardable(config):
+        modes.append("sharded")
+    if config.ckpt_step is not None and checkpointable(config):
+        modes.append("resume")
+    faulty = config.drop > 0.0 or config.duplicate > 0.0
+    if faulty and config.reliable:
+        modes.append("fault_free")
+    if not faulty or config.reliable:
+        modes.append("reference")
+    return modes
+
+
+# -- shared plumbing --------------------------------------------------------
+
+
+def _filter_counters(sub: MetricsSubscriber) -> Dict[str, Dict[str, Any]]:
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for name, value in sub.as_dict().items():
+        if name in SHARD_ONLY_METRICS:
+            continue
+        value = dict(value)
+        # a gauge's *last seen* value depends on event-relay interleaving
+        # (documented relaxation); counters/histograms/peaks must match
+        value.pop("last", None)
+        metrics[name] = value
+    return metrics
+
+
+def _schedule_digest(verdict: Any, report: Any) -> str:
+    return canonical_digest({
+        "verdict": verdict,
+        "steps": report.steps,
+        "computation_time": report.computation_time,
+        "sent": report.sent_total,
+        "delivered": report.delivered_total,
+        "dropped": report.dropped_total,
+        "queued": [int(q) for q in report.queued_series],
+    })
+
+
+def _semantic_digest(layers: Dict[str, Any]) -> str:
+    """State digest over the semantic layers (telemetry held separately)."""
+    return state_digest_of({k: v for k, v in layers.items() if k != "telemetry"})
+
+
+def _stack_verdict(config: FuzzConfig, run) -> Tuple[bool, Any]:
+    if not run.results:
+        return False, INCOMPLETE
+    raw = run.results[0]
+    if config.workload == "sat":
+        return True, {
+            "kind": "sat",
+            "sat": raw is not None,
+            "assignment": sorted(dict(raw).items()) if raw is not None else None,
+        }
+    if config.workload == "fib":
+        return True, {"kind": "fib", "value": raw}
+    return True, {
+        "kind": "nqueens",
+        "placement": list(raw) if raw is not None else None,
+    }
+
+
+def _build_fn(config: FuzzConfig):
+    """The layer-5 function + (for sharded runs) its picklable recipe."""
+    if config.workload == "sat":
+        from ..apps.sat.distributed import make_solve_sat
+
+        kwargs = dict(hint_mode=config.hint_mode, simplify=config.simplify)
+        fn = make_solve_sat(
+            config.heuristic, rng=random.Random(config.seed), **kwargs
+        )
+        spec = ShardProgramSpec(
+            make_solve_sat, config.heuristic,
+            rng=random.Random(config.seed), **kwargs,
+        )
+        return fn, spec
+    if config.workload == "fib":
+        from ..apps.fib import fib
+
+        return fib, None  # module-level: pickles by reference
+    from ..apps.nqueens import nqueens
+
+    return nqueens, None
+
+
+def _stack_args(config: FuzzConfig) -> Any:
+    if config.workload == "sat":
+        from ..apps.sat.distributed import SatProblem
+
+        return SatProblem(build_cnf(config))
+    if config.workload == "fib":
+        return config.workload_params["n"]
+    from ..apps.nqueens import QueensProblem
+
+    return QueensProblem(config.workload_params["n"])
+
+
+def _run_stack(
+    config: FuzzConfig,
+    mode: str,
+    *,
+    shards: int,
+    shard_backend: str,
+    capture_checkpoints: bool = False,
+    resume_from: Any = None,
+) -> RunOutcome:
+    """Run a layer-5 workload through :class:`HyperspaceStack`."""
+    bus = TelemetryBus()
+    sub = bus.attach(MetricsSubscriber())
+    stack = HyperspaceStack(
+        topology_from_spec(config.topology),
+        mapper=config.mapper,
+        status=config.status,
+        seed=config.seed,
+        drop=config.drop,
+        duplicate=config.duplicate,
+        reliable=config.reliable,
+        telemetry=bus,
+        shards=shards,
+        shard_backend=shard_backend,
+    )
+    fn, spec = _build_fn(config)
+    checkpoints: List[Any] = []
+    kwargs: Dict[str, Any] = {}
+    if capture_checkpoints and config.ckpt_step is not None:
+        kwargs["checkpoint_every"] = config.ckpt_step
+        kwargs["checkpoint_sink"] = checkpoints.append
+    if resume_from is not None:
+        kwargs["resume_from"] = resume_from
+    _result, report = stack.run_recursive(
+        fn,
+        None if resume_from is not None else _stack_args(config),
+        max_steps=config.max_steps,
+        strict=False,
+        halt_on_result=not config.drain,
+        fn_spec=spec if shards > 1 else None,
+        **kwargs,
+    )
+    run = stack.last_run
+    completed, verdict = _stack_verdict(config, run)
+    layers = stack._compose_layers(run.machine, run.scheduler)
+    close = getattr(run.machine, "close", None)
+    if close is not None:
+        close()
+    return RunOutcome(
+        mode=mode,
+        completed=completed,
+        verdict=verdict,
+        schedule_digest=_schedule_digest(verdict, report),
+        state_digest=_semantic_digest(layers),
+        counters=_filter_counters(sub),
+        checkpoints=checkpoints,
+    )
+
+
+# -- traversal (bare layer 1) ----------------------------------------------
+
+
+def _traversal_visited_rpc(program, ctx, arg):
+    """map_nodes RPC: read one node's visited flag inside its shard."""
+    return bool(ctx.state["visited"])
+
+
+def _run_traversal(config: FuzzConfig, mode: str, *, shards: int,
+                   shard_backend: str) -> RunOutcome:
+    from ..apps.traversal import traversal_program
+
+    topology = topology_from_spec(config.topology)
+    bus = TelemetryBus()
+    sub = bus.attach(MetricsSubscriber())
+    if config.drop or config.duplicate:
+        faults = FaultModel(
+            config.drop, config.duplicate,
+            rng=substream(config.seed, "l1-faults"),
+        )
+    else:
+        faults = ReliableLinks
+    common = dict(
+        seed=config.seed,
+        faults=faults,
+        reliability=config.reliable,
+        telemetry=bus,
+    )
+    if shards > 1:
+        machine: Machine = ShardedMachine(
+            topology,
+            ShardProgramSpec(traversal_program),
+            shards=shards,
+            partitioner=config.partitioner,
+            shard_backend=shard_backend,
+            **common,
+        )
+    else:
+        machine = Machine(topology, traversal_program(), **common)
+    machine.inject(0, EMPTY_MSG)
+    report = machine.run(max_steps=config.max_steps)
+    if isinstance(machine, ShardedMachine):
+        per = machine.map_nodes(_traversal_visited_rpc)
+        visited = [n for n in topology.nodes() if per[n]]
+        machine.drain_telemetry()
+    else:
+        visited = [n for n in topology.nodes() if machine.state_of(n)["visited"]]
+    verdict = {"kind": "traversal", "visited": visited}
+    snapshot = machine.snapshot()
+    layers: Dict[str, Any] = {"netsim": snapshot}
+    if machine.reliability is not None:
+        layers["reliability"] = machine.reliability.snapshot()
+    close = getattr(machine, "close", None)
+    if close is not None:
+        close()
+    return RunOutcome(
+        mode=mode,
+        completed=True,
+        verdict=verdict,
+        schedule_digest=_schedule_digest(verdict, report),
+        state_digest=_semantic_digest(layers),
+        counters=_filter_counters(sub),
+    )
+
+
+# -- the sequential references ---------------------------------------------
+
+
+def reference_verdict(config: FuzzConfig) -> Optional[Any]:
+    """Ground truth from the sequential solvers (coarse-verdict form).
+
+    Returns None when no reference applies (traversal's reference — every
+    node visited — depends on the topology object, so it is computed
+    inline by :func:`check_reference` instead).
+    """
+    if config.workload == "sat":
+        from ..apps.sat.dpll import dpll_solve
+
+        res = dpll_solve(build_cnf(config), heuristic="max_occurrence")
+        return {"kind": "sat", "sat": bool(res.satisfiable)}
+    if config.workload == "fib":
+        from ..apps.fib import sequential_fib
+
+        return {"kind": "fib", "value": sequential_fib(config.workload_params["n"])}
+    if config.workload == "nqueens":
+        from ..apps.nqueens import sequential_nqueens
+
+        found = sequential_nqueens(config.workload_params["n"]) is not None
+        return {"kind": "nqueens", "found": found}
+    return None
+
+
+def check_reference(config: FuzzConfig, outcome: RunOutcome) -> Optional[str]:
+    """Compare a completed clean/protected run against ground truth.
+
+    Returns an error string on mismatch, None when the run agrees (or no
+    reference applies).  Also validates witness structures: a SAT model
+    must satisfy the formula, an N-queens placement must be valid.
+    """
+    if not outcome.completed:
+        return None
+    if config.workload == "traversal":
+        n_nodes = topology_from_spec(config.topology).n_nodes
+        visited = outcome.verdict["visited"]
+        if visited != list(range(n_nodes)):
+            return (
+                f"traversal visited {len(visited)}/{n_nodes} nodes "
+                f"on connected topology {config.topology}"
+            )
+        return None
+    want = reference_verdict(config)
+    got = outcome.coarse_verdict()
+    if got != want:
+        return f"verdict {got!r} disagrees with sequential reference {want!r}"
+    if config.workload == "sat" and outcome.verdict["sat"]:
+        model = dict(outcome.verdict["assignment"])
+        if not build_cnf(config).is_satisfied_by(model):
+            return f"claimed SAT model does not satisfy the formula: {model!r}"
+    if config.workload == "nqueens" and outcome.verdict["placement"] is not None:
+        from ..apps.nqueens import is_valid_placement
+
+        n = config.workload_params["n"]
+        placement = tuple(outcome.verdict["placement"])
+        if not is_valid_placement(n, placement):
+            return f"claimed {n}-queens placement is invalid: {placement!r}"
+    return None
+
+
+# -- the adapter entry point ------------------------------------------------
+
+
+def run_mode(
+    config: FuzzConfig,
+    mode: str,
+    *,
+    shard_backend: str = "inline",
+    baseline: Optional[RunOutcome] = None,
+) -> Optional[RunOutcome]:
+    """Run ``config`` in one execution mode; None when the mode is moot.
+
+    ``resume`` needs the serial ``baseline`` outcome (it restarts from the
+    first checkpoint that run captured; a run that finished before the
+    first checkpoint boundary yields no checkpoint, and the mode returns
+    None).  ``fault_free`` reruns the config serially on clean links.
+    """
+    if mode == "serial":
+        capture = config.ckpt_step is not None and checkpointable(config)
+        if config.workload == "traversal":
+            return _run_traversal(config, mode, shards=1, shard_backend=shard_backend)
+        return _run_stack(
+            config, mode, shards=1, shard_backend=shard_backend,
+            capture_checkpoints=capture,
+        )
+    if mode == "sharded":
+        if config.workload == "traversal":
+            return _run_traversal(
+                config, mode, shards=config.shards, shard_backend=shard_backend
+            )
+        return _run_stack(
+            config, mode, shards=config.shards, shard_backend=shard_backend
+        )
+    if mode == "resume":
+        if baseline is None or not baseline.checkpoints:
+            return None
+        return _run_stack(
+            config, mode, shards=1, shard_backend=shard_backend,
+            resume_from=baseline.checkpoints[0],
+        )
+    if mode == "fault_free":
+        clean = config.with_(drop=0.0, duplicate=0.0, reliable=False)
+        if config.workload == "traversal":
+            return _run_traversal(clean, mode, shards=1, shard_backend=shard_backend)
+        return _run_stack(clean, mode, shards=1, shard_backend=shard_backend)
+    raise ValueError(f"unknown execution mode {mode!r}")

@@ -1,0 +1,142 @@
+"""Fuzz loop and artifact format, with injected oracle stubs for speed."""
+
+import json
+
+import pytest
+
+from repro.conformance.fuzzer import (
+    ArtifactError,
+    load_artifact,
+    replay_artifact,
+    run_fuzz,
+    save_artifact,
+)
+from repro.conformance.oracle import CheckResult, Discrepancy
+from repro.conformance.space import DEFAULT_CONFIG
+
+
+def ok_check(config, *, modes=None, shard_backend="inline"):
+    return CheckResult(config, modes_run=["serial", "reference"])
+
+
+def failing_on(predicate, mode="sharded", kind="counters"):
+    """A check_config stub that reports a discrepancy when predicate(c)."""
+
+    def check(config, *, modes=None, shard_backend="inline"):
+        if predicate(config):
+            return CheckResult(
+                config,
+                modes_run=["serial"],
+                discrepancy=Discrepancy(config, mode, kind, "stubbed"),
+            )
+        return ok_check(config)
+
+    return check
+
+
+class TestArtifacts:
+    DISC = Discrepancy(
+        DEFAULT_CONFIG.with_(mapper="lbn"), "sharded", "counters", "l1: 1 vs 2"
+    )
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = save_artifact(
+            tmp_path / "deep" / "bug.json",
+            self.DISC,
+            modes=["sharded"],
+            original=DEFAULT_CONFIG.with_(mapper="lbn", shards=3),
+        )
+        payload = load_artifact(path)
+        assert payload["discrepancy"] == self.DISC
+        assert payload["modes"] == ["sharded"]
+        assert payload["original_config"]["shards"] == 3
+
+    def test_original_omitted_when_nothing_shrunk(self, tmp_path):
+        path = save_artifact(tmp_path / "bug.json", self.DISC,
+                             original=self.DISC.config)
+        assert "original_config" not in load_artifact(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_artifact(tmp_path / "nope.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json at all")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_artifact(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(ArtifactError, match="not a repro-conformance"):
+            load_artifact(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        payload = json.loads((save_artifact(tmp_path / "ok.json", self.DISC)
+                              ).read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="unsupported version"):
+            load_artifact(path)
+
+    def test_corrupt_discrepancy(self, tmp_path):
+        path = save_artifact(tmp_path / "bug.json", self.DISC)
+        payload = json.loads(path.read_text())
+        payload["discrepancy"]["config"]["warp_factor"] = 9
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="corrupt"):
+            load_artifact(path)
+
+    def test_replay_runs_the_real_oracle(self, tmp_path):
+        # the pinned default config is clean, so a replayed artifact for it
+        # reports "does not reproduce" by returning an ok result
+        path = save_artifact(
+            tmp_path / "bug.json",
+            Discrepancy(DEFAULT_CONFIG, "sharded", "counters", "stale"),
+            modes=["sharded"],
+        )
+        result = replay_artifact(path)
+        assert result.ok
+        assert result.modes_run == ["serial"]  # shards=1: sharded is moot
+
+
+class TestRunFuzz:
+    def test_clean_run(self):
+        report = run_fuzz(3, 20, check=ok_check)
+        assert report.ok
+        assert report.configs_checked == 20
+        assert report.mode_runs == {"serial": 20, "reference": 20}
+        assert report.discrepancies == []
+        assert report.to_dict()["ok"] is True
+
+    def test_discrepancies_are_shrunk_and_archived(self, tmp_path):
+        check = failing_on(lambda c: c.mapper == "lbn")
+        report = run_fuzz(3, 60, check=check, artifact_dir=tmp_path)
+        assert not report.ok
+        assert report.configs_checked == 60  # keeps fuzzing past failures
+        assert len(report.artifact_paths) == len(report.discrepancies) >= 1
+        for disc, path in zip(report.discrepancies, report.artifact_paths):
+            # every archived repro shrank to the canonical minimal config
+            assert disc.config == DEFAULT_CONFIG.with_(mapper="lbn")
+            payload = load_artifact(path)
+            assert payload["discrepancy"] == disc
+            replayed = check(payload["discrepancy"].config)
+            assert replayed.discrepancy.kind == disc.kind
+
+    def test_no_shrink_keeps_the_original_config(self):
+        check = failing_on(lambda c: c.mapper == "lbn")
+        report = run_fuzz(3, 60, check=check, shrink=False)
+        assert all(d.config.mapper == "lbn" for d in report.discrepancies)
+        assert any(d.config != DEFAULT_CONFIG.with_(mapper="lbn")
+                   for d in report.discrepancies)
+
+    def test_time_limit_stops_early(self):
+        report = run_fuzz(3, 10_000, check=ok_check, time_limit=0.0)
+        assert report.configs_checked < 10_000
+
+    def test_progress_lines_are_emitted(self):
+        lines = []
+        run_fuzz(3, 25, check=ok_check, progress=lines.append)
+        assert any("25/25" in line for line in lines)

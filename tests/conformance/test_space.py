@@ -1,0 +1,129 @@
+"""Config-space sampler: determinism, serialisation, formula building."""
+
+import random
+
+import pytest
+
+from repro.conformance.space import (
+    DEFAULT_CONFIG,
+    DEFAULT_WORKLOAD_PARAMS,
+    DIMENSIONS,
+    FuzzConfig,
+    build_cnf,
+    sample_configs,
+    sample_list,
+)
+from repro.errors import ApplicationError
+from repro.topology import topology_from_spec
+
+
+class TestSamplerDeterminism:
+    def test_same_seed_same_stream(self):
+        assert sample_list(7, 40) == sample_list(7, 40)
+
+    def test_prefix_stability(self):
+        # a bigger budget extends the stream, it does not reshuffle it
+        assert sample_list(7, 60)[:40] == sample_list(7, 40)
+
+    def test_different_seeds_differ(self):
+        assert sample_list(1, 40) != sample_list(2, 40)
+
+    def test_generator_is_lazy_and_sized(self):
+        gen = sample_configs(3, 10)
+        assert iter(gen) is gen
+        assert len(list(gen)) == 10
+
+
+class TestSampledConfigsAreValid:
+    def test_every_sample_is_buildable(self):
+        for config in sample_list(5, 60):
+            topo = topology_from_spec(config.topology)
+            assert topo.n_nodes >= 2  # layer-5 mappers need a neighbour
+            assert config.shards >= 1
+            assert 0.0 <= config.drop <= 0.5
+            assert 0.0 <= config.duplicate <= 0.5
+            assert config.workload in DEFAULT_WORKLOAD_PARAMS
+            if config.workload == "sat":
+                cnf = build_cnf(config)
+                assert cnf.clauses
+
+    def test_faulty_reliable_combinations_all_appear(self):
+        configs = sample_list(5, 120)
+        faulty = [c for c in configs if c.drop or c.duplicate]
+        assert faulty
+        assert any(c.reliable for c in faulty)
+        assert any(not c.reliable for c in faulty)
+        assert any(not (c.drop or c.duplicate) for c in configs)
+
+    def test_every_workload_and_mode_dimension_is_reached(self):
+        configs = sample_list(5, 120)
+        assert {c.workload for c in configs} == set(DEFAULT_WORKLOAD_PARAMS)
+        assert any(c.shards > 1 for c in configs)
+        assert any(c.ckpt_step is not None for c in configs)
+
+
+class TestFuzzConfigSerialisation:
+    def test_round_trip_identity(self):
+        for config in sample_list(11, 40):
+            assert FuzzConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_key_rejected(self):
+        data = DEFAULT_CONFIG.to_dict()
+        data["warp_factor"] = 9
+        with pytest.raises(ApplicationError):
+            FuzzConfig.from_dict(data)
+
+    def test_with_replaces_only_named_fields(self):
+        changed = DEFAULT_CONFIG.with_(mapper="lbn")
+        assert changed.mapper == "lbn"
+        assert changed.with_(mapper=DEFAULT_CONFIG.mapper) == DEFAULT_CONFIG
+
+    def test_describe_mentions_the_workload(self):
+        for config in sample_list(2, 10):
+            text = config.describe()
+            assert config.workload in text
+            assert config.topology in text
+
+    def test_default_config_sits_at_every_dimension_default(self):
+        # the shrinker's fixpoint target: defaulting any dimension of the
+        # default config must be a no-op
+        for dim in DIMENSIONS:
+            assert hasattr(DEFAULT_CONFIG, dim)
+        assert DEFAULT_CONFIG.with_() == DEFAULT_CONFIG
+
+
+class TestBuildCnf:
+    def test_recipe_is_deterministic(self):
+        config = DEFAULT_CONFIG.with_(
+            workload="sat",
+            workload_params={"num_vars": 6, "num_clauses": 14, "formula_seed": 3},
+        )
+        a, b = build_cnf(config), build_cnf(config)
+        assert a.clauses == b.clauses
+        assert a.num_vars == b.num_vars == 6
+
+    def test_formula_seed_changes_the_formula(self):
+        base = {"num_vars": 6, "num_clauses": 14}
+        one = build_cnf(DEFAULT_CONFIG.with_(
+            workload="sat", workload_params={**base, "formula_seed": 1}))
+        two = build_cnf(DEFAULT_CONFIG.with_(
+            workload="sat", workload_params={**base, "formula_seed": 2}))
+        assert one.clauses != two.clauses
+
+    def test_explicit_clauses_pass_through(self):
+        config = DEFAULT_CONFIG.with_(
+            workload="sat",
+            workload_params={"clauses": [[1, -2], [2]], "num_vars": 2},
+        )
+        cnf = build_cnf(config)
+        assert list(cnf.clauses) == [(1, -2), (2,)]
+        assert cnf.num_vars == 2
+
+    def test_tiny_var_count_clamps_clause_width(self):
+        config = DEFAULT_CONFIG.with_(
+            workload="sat",
+            workload_params={"num_vars": 2, "num_clauses": 6, "formula_seed": 0},
+        )
+        cnf = build_cnf(config)
+        assert all(len(c) <= 2 for c in cnf.clauses)
+        assert all(abs(l) <= 2 for c in cnf.clauses for l in c)

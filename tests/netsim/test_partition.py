@@ -12,7 +12,7 @@ from repro.netsim.partition import (
     partition_strip,
     validate_partition,
 )
-from repro.topology import Grid, Hypercube, Line, Ring, Torus
+from repro.topology import FullyConnected, Grid, Hypercube, Line, Ring, Torus
 
 
 TOPOLOGIES = [
@@ -124,3 +124,59 @@ class TestDeterminism:
         for seed in range(4):
             parts = partition_greedy(topo, 4, seed=seed)
             validate_partition(topo, parts)
+
+
+class TestDegenerateTopologies:
+    """1-node, single-row, and fully-connected machines.
+
+    These shapes break the assumptions partitioners like to make — a
+    second grid axis to block over, more nodes than shards, a sparse
+    neighbourhood for greedy growth — and are exactly where the
+    conformance fuzzer's hand-picked corpus lives.
+    """
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("topo", [Line(1), Ring(1)], ids=["line1", "ring1"])
+    def test_one_node_one_shard(self, name, topo):
+        parts = make_partition(topo, 1, name)
+        assert parts == [[0]]
+        validate_partition(topo, parts)
+        assert edge_cut(topo, parts) == 0
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_one_node_cannot_split(self, name):
+        with pytest.raises(SimulationError, match="1 nodes into 2 shards"):
+            make_partition(Line(1), 2, name)
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("shards", [1, 2, 3, 8])
+    def test_single_row_grid(self, name, shards):
+        topo = Grid((1, 8))
+        parts = make_partition(topo, shards, name)
+        assert len(parts) == shards
+        assert every_node_once(topo, parts)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1, (name, sizes)
+        validate_partition(topo, parts)
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_fully_connected(self, name, shards):
+        # every split of a complete graph cuts the same number of links;
+        # balance and validity are all a partitioner can offer here
+        topo = FullyConnected(7)
+        parts = make_partition(topo, shards, name)
+        assert every_node_once(topo, parts)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1, (name, sizes)
+        validate_partition(topo, parts)
+        total = topo.n_nodes
+        within = sum(s * (s - 1) // 2 for s in sizes)
+        assert edge_cut(topo, parts) == total * (total - 1) // 2 - within
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    def test_degenerate_shapes_are_deterministic(self, name):
+        for topo in (Line(1), Grid((1, 8)), FullyConnected(7)):
+            shards = min(3, topo.n_nodes)
+            assert (make_partition(topo, shards, name)
+                    == make_partition(topo, shards, name))

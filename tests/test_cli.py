@@ -314,3 +314,101 @@ class TestEndToEnd:
         events = json.loads(out.read_text())
         assert events, "empty trace"
         assert json.loads(metrics.read_text())
+
+
+class TestFuzzCommand:
+    """The differential conformance fuzzer CLI (``repro fuzz``)."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seed == 9
+        assert args.budget == 200
+        assert args.replay is None
+        assert args.modes is None
+        assert args.shard_backend == "inline"
+
+    def test_small_run_is_clean(self, tmp_path, capsys):
+        rc = main(["fuzz", "--seed", "1", "--budget", "3",
+                   "--artifact-dir", str(tmp_path / "artifacts")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "configs    3/3 checked" in out
+        assert "all execution modes agree" in out
+        # no discrepancies means no artifact directory is ever created
+        assert not (tmp_path / "artifacts").exists()
+
+    def test_modes_restriction_applies(self, capsys):
+        rc = main(["fuzz", "--seed", "1", "--budget", "3",
+                   "--modes", "reference"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sharded=" not in out
+
+    def test_unknown_mode_exits_2(self, capsys):
+        rc = main(["fuzz", "--modes", "serial,warp"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown modes warp" in err
+
+    def test_zero_budget_exits_2(self, capsys):
+        rc = main(["fuzz", "--budget", "0"])
+        assert rc == 2
+        assert "--budget must be >= 1" in capsys.readouterr().err
+
+    def test_replay_missing_artifact_exits_2(self, tmp_path, capsys):
+        rc = main(["fuzz", "--replay", str(tmp_path / "nope.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot read artifact" in err
+
+    def test_replay_corrupt_artifact_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{this is not json")
+        rc = main(["fuzz", "--replay", str(bad)])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_replay_wrong_format_exits_2(self, tmp_path, capsys):
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"format": "not-an-artifact"}))
+        rc = main(["fuzz", "--replay", str(other)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_of_stale_artifact_reports_no_repro(self, tmp_path, capsys):
+        # an artifact whose config is actually conformant replays cleanly:
+        # exit 0 and an explicit "did NOT reproduce" verdict
+        from repro.conformance import DEFAULT_CONFIG, Discrepancy, save_artifact
+
+        path = save_artifact(
+            tmp_path / "stale.json",
+            Discrepancy(DEFAULT_CONFIG.with_(shards=2), "sharded",
+                        "counters", "fixed long ago"),
+        )
+        rc = main(["fuzz", "--replay", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "did NOT reproduce" in out
+        assert "serial, sharded" in out
+
+
+class TestSolveUsageErrors:
+    """Contradictory or malformed solve invocations exit 2, cleanly."""
+
+    def test_invalid_shards_value_exits_2(self, capsys):
+        rc = main(["solve", "--shards", "bananas"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "bananas" in err
+
+    def test_random_heuristic_with_shards_exits_2(self, capsys):
+        # the random branching heuristic draws from one shared RNG, which
+        # a sharded run cannot replicate — contradictory flags, not a crash
+        rc = main(["solve", "--topology", "torus2d:3x3", "--shards", "2",
+                   "--heuristic", "random"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "random" in err
