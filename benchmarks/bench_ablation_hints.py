@@ -28,10 +28,10 @@ import pytest
 from repro.apps.fib import fib, fib_hinted
 from repro.apps.knapsack import make_knapsack_solver, random_knapsack_problem, sequential_knapsack
 from repro.bench import format_table
-from repro.stack import HyperspaceStack
-from repro.topology import Torus
+from repro.engine import RunSpec, execute
 
 DIMS = (8, 8)
+TOPOLOGY = "torus:" + "x".join(str(d) for d in DIMS)
 
 
 def run_fib_hint_sweep(n=15):
@@ -42,10 +42,13 @@ def run_fib_hint_sweep(n=15):
         ("hint, magnitude (phi^n)", "hint", fib_hinted),
     )
     for label, mapper, fn in configs:
-        stack = HyperspaceStack(Torus(DIMS), mapper=mapper, seed=1)
-        result, report = stack.run_recursive(fn, n, halt_on_result=False)
-        assert result == 610
-        rows.append({"config": label, "ct": report.computation_time})
+        spec = RunSpec(
+            workload="custom", workload_params={},
+            topology=TOPOLOGY, mapper=mapper, seed=1, drain=True,
+        )
+        run = execute(spec, fn=fn, args=n)
+        assert run.result == 610
+        rows.append({"config": label, "ct": run.report.computation_time})
     return rows
 
 
@@ -57,10 +60,13 @@ def run_knapsack_hint_sweep(n_problems=4, n_items=12):
         cts = []
         for i, prob in enumerate(problems):
             solver = make_knapsack_solver(use_hints=use_hints, prune=False)
-            stack = HyperspaceStack(Torus(DIMS), mapper="hint", seed=10 + i)
-            value, report = stack.run_recursive(solver, prob, halt_on_result=False)
-            assert value == sequential_knapsack(prob.items, prob.capacity)
-            cts.append(report.computation_time)
+            spec = RunSpec(
+                workload="custom", workload_params={},
+                topology=TOPOLOGY, mapper="hint", seed=10 + i, drain=True,
+            )
+            run = execute(spec, fn=solver, args=prob)
+            assert run.result == sequential_knapsack(prob.items, prob.capacity)
+            cts.append(run.report.computation_time)
         rows.append({"config": label, "ct": sum(cts) / len(cts)})
     return rows
 

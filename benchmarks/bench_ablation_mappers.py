@@ -16,10 +16,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.fib import fib
 from repro.bench import format_table, sat_suite
+from repro.engine import RunSpec, execute
 from repro.parallel import SatTask, solve_sat_tasks
-from repro.stack import HyperspaceStack
 from repro.topology import Torus
 
 DIMS = (12, 12)
@@ -35,10 +34,13 @@ CONFIGS = (
 def run_fib_sweep(n=15):
     rows = []
     for label, mapper, status in CONFIGS:
-        stack = HyperspaceStack(Torus(DIMS), mapper=mapper, status=status, seed=1)
-        result, report = stack.run_recursive(fib, n, halt_on_result=False)
-        rows.append({"config": label, "ct": report.computation_time,
-                     "sent": report.sent_total, "result": result})
+        run = execute(RunSpec(
+            workload="fib", workload_params={"n": n},
+            topology="torus:" + "x".join(str(d) for d in DIMS),
+            mapper=mapper, status=status, seed=1, drain=True,
+        ))
+        rows.append({"config": label, "ct": run.report.computation_time,
+                     "sent": run.report.sent_total, "result": run.result})
     return rows
 
 

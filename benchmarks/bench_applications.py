@@ -18,14 +18,19 @@ from repro.apps.nqueens import QueensProblem, is_valid_placement, nqueens
 from repro.apps.sat import SatProblem, make_solve_sat, uf20_91_suite
 from repro.apps.subsetsum import random_subset_sum_problem, subset_sum
 from repro.apps.tsp import TspProblem, random_distance_matrix, sequential_tsp, tsp
-from repro.stack import HyperspaceStack
-from repro.topology import Torus
+from repro.engine import RunSpec, execute
 
 TOPO_DIMS = (8, 8)
 
 
-def make_stack():
-    return HyperspaceStack(Torus(TOPO_DIMS), mapper="lbn", seed=11)
+def run_app(fn, args):
+    """One zoo cell: a custom layer-5 solver through the engine funnel."""
+    spec = RunSpec(
+        workload="custom", workload_params={},
+        topology="torus:" + "x".join(str(d) for d in TOPO_DIMS),
+        mapper="lbn", seed=11, drain=False,
+    )
+    return execute(spec, fn=fn, args=args).result
 
 
 def test_bench_app_sat(benchmark):
@@ -33,8 +38,7 @@ def test_bench_app_sat(benchmark):
     fn = make_solve_sat(simplify="single")
 
     def run():
-        model, _ = make_stack().run_recursive(fn, SatProblem(cnf))
-        return model
+        return run_app(fn, SatProblem(cnf))
 
     model = benchmark(run)
     assert model is not None and cnf.is_satisfied_by(dict(model))
@@ -42,8 +46,7 @@ def test_bench_app_sat(benchmark):
 
 def test_bench_app_nqueens(benchmark):
     def run():
-        sol, _ = make_stack().run_recursive(nqueens, QueensProblem(7))
-        return sol
+        return run_app(nqueens, QueensProblem(7))
 
     sol = benchmark(run)
     assert is_valid_placement(7, tuple(sol))
@@ -54,8 +57,7 @@ def test_bench_app_coloring(benchmark):
     problem = ColoringProblem.build(9, edges, 3)
 
     def run():
-        sol, _ = make_stack().run_recursive(color_graph, problem)
-        return sol
+        return run_app(color_graph, problem)
 
     sol = benchmark(run)
     assert is_valid_coloring(9, edges, sol, 3)
@@ -65,8 +67,7 @@ def test_bench_app_subset_sum(benchmark):
     problem = random_subset_sum_problem(12, random.Random(11), satisfiable=True)
 
     def run():
-        sol, _ = make_stack().run_recursive(subset_sum, problem)
-        return sol
+        return run_app(subset_sum, problem)
 
     sol = benchmark(run)
     assert sum(sol) == problem.remaining_target
@@ -77,8 +78,7 @@ def test_bench_app_knapsack(benchmark):
     expected = sequential_knapsack(problem.items, problem.capacity)
 
     def run():
-        value, _ = make_stack().run_recursive(knapsack, problem)
-        return value
+        return run_app(knapsack, problem)
 
     assert benchmark(run) == expected
 
@@ -89,7 +89,7 @@ def test_bench_app_tsp(benchmark):
     problem = TspProblem.build(dist)
 
     def run():
-        (cost, _), _ = make_stack().run_recursive(tsp, problem)
+        cost, _ = run_app(tsp, problem)
         return cost
 
     assert benchmark(run) == expected

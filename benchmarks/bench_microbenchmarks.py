@@ -13,10 +13,9 @@ import random
 import pytest
 
 from repro.apps.sat import CNF, dpll_solve, uf20_91_suite, uniform_random_ksat
-from repro.apps.sumrec import calculate_sum
 from repro.apps.traversal import run_traversal
+from repro.engine import RunSpec, execute
 from repro.netsim import EMPTY_MSG, FunctionalProgram, Machine
-from repro.stack import HyperspaceStack
 from repro.topology import Hypercube, Torus
 
 
@@ -94,11 +93,13 @@ def test_bench_hypercube_distance(benchmark):
 
 def test_bench_stack_recursion_overhead(benchmark):
     """End-to-end layer-5 overhead: sum(1..40) across a 64-core torus."""
+    spec = RunSpec(
+        workload="sumrec", workload_params={"n": 40},
+        topology="torus:8x8", drain=False,
+    )
 
     def run():
-        stack = HyperspaceStack(Torus((8, 8)))
-        result, _ = stack.run_recursive(calculate_sum, 40)
-        return result
+        return execute(spec).result
 
     assert benchmark(run) == 820
 

@@ -299,7 +299,7 @@ def measure_sharded(repeats: int) -> dict:
 
 def measure_figure4(jobs: int) -> dict:
     """Time ``run_figure4(QUICK)`` serial vs pooled; assert identical data."""
-    from repro.bench import QUICK, figure4_to_dict, run_figure4
+    from repro.bench import QUICK, figure4_to_dict, preset_fingerprint, run_figure4
 
     run_figure4(QUICK)  # warm the memoised problem suite
     t0 = time.perf_counter()
@@ -313,6 +313,9 @@ def measure_figure4(jobs: int) -> dict:
         raise AssertionError("parallel figure-4 sweep diverged from serial")
     return {
         "preset": "quick",
+        # digest of every sweep cell's canonical RunSpec: tells a workload
+        # change apart from a genuine performance drift when comparing
+        "workload_fingerprint": preset_fingerprint(QUICK),
         "serial_seconds": round(serial_s, 2),
         "parallel_seconds": round(pooled_s, 2),
         "parallel_jobs": jobs,

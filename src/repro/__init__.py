@@ -11,17 +11,19 @@ simulated hyperspace machine:
 5. :mod:`repro.apps`     — applications (DPLL SAT solver, N-queens, …)
 
 plus :mod:`repro.topology` (tori / hypercubes / …), :mod:`repro.stack` (the
-assembled stack and its high-level ``run_recursive`` API) and
-:mod:`repro.bench` (the harness regenerating the paper's figures).
+assembled stack and its high-level ``run_recursive`` API),
+:mod:`repro.engine` (the declarative :class:`~repro.engine.RunSpec` /
+:func:`~repro.engine.execute` front door every entry point funnels
+through) and :mod:`repro.bench` (the harness regenerating the paper's
+figures).
 
 Quickstart::
 
-    from repro import HyperspaceStack, Torus
-    from repro.apps.sumrec import calculate_sum
+    from repro import RunSpec, execute
 
-    stack = HyperspaceStack(Torus((8, 8)))
-    result, report = stack.run_recursive(calculate_sum, 10)
-    assert result == 55
+    run = execute(RunSpec(workload="sumrec", workload_params={"n": 10},
+                          topology="torus:8x8", drain=False))
+    assert run.result == 55
 """
 
 from . import errors
@@ -59,6 +61,11 @@ __all__ = [
     "ShardedMachine",
     "ShardProgramSpec",
     "ReliabilityConfig",
+    "RunSpec",
+    "RunResult",
+    "execute",
+    "validate",
+    "SpecError",
     "StackCheckpoint",
     "load_checkpoint",
     "save_checkpoint",
@@ -71,6 +78,14 @@ def __getattr__(name):  # lazy imports to avoid import cycles at startup
         from .stack import HyperspaceStack
 
         return HyperspaceStack
+    if name in ("RunSpec", "RunResult", "execute", "validate"):
+        from . import engine
+
+        return getattr(engine, name)
+    if name == "SpecError":
+        from .errors import SpecError
+
+        return SpecError
     if name == "Machine":
         from .netsim import Machine
 

@@ -20,9 +20,8 @@ import random
 from typing import Any, Dict, NamedTuple, Optional, Tuple
 
 from ...errors import ApplicationError
-from ...netsim import ShardProgramSpec, resolve_shards
+from ...netsim import resolve_shards
 from ...recursion import Call, Choice, Result, Sync
-from ...stack import HyperspaceStack
 from ...telemetry.probe import probe, probe_enabled
 from ...topology import NodeId, Topology
 from .cnf import CNF, var_of
@@ -300,104 +299,83 @@ def solve_on_machine(
     depend on the shard count.  ``shards=None`` consults ``REPRO_SHARDS``
     and defaults to serial.  Checkpoints never record the shard count —
     a sharded run resumes serially and vice versa.
+
+    This function is a thin back-compat shim: it builds a
+    :class:`repro.engine.RunSpec` from its keyword arguments and runs it
+    through :func:`repro.engine.execute`, the library's one run entry
+    point.  Validation (including the random-heuristic guards above)
+    happens in :func:`repro.engine.validate`, so the CLI, this shim and
+    the conformance fuzzer reject bad configurations with identical
+    messages.
     """
-    if (checkpoint_every is not None or resume_from is not None) and heuristic == "random":
-        raise ApplicationError(
-            "the 'random' branching heuristic shares one RNG stream across "
-            "invocations and cannot be checkpointed/resumed deterministically; "
-            "use a deterministic heuristic (e.g. 'max_occurrence')"
-        )
-    n_shards = min(resolve_shards(shards), topology.n_nodes)
-    if n_shards > 1 and heuristic == "random":
-        raise ApplicationError(
-            "the 'random' branching heuristic shares one RNG stream across "
-            "invocations; under the sharded backend each worker would hold "
-            "its own copy and the draws would diverge from a serial run — "
-            "use a deterministic heuristic (e.g. 'max_occurrence')"
-        )
-    stack = HyperspaceStack(
-        topology,
-        mapper=mapper,
-        status=status,
+    from ...engine import RunSpec, execute
+    from ...reliability import ReliabilityConfig
+    from ...topology import spec_of
+
+    # split the legacy polymorphic kwargs into declarative spec fields
+    # plus runtime attachments execute() takes alongside the spec
+    heuristic_fn = None
+    heuristic_name = heuristic
+    if not isinstance(heuristic, str):
+        heuristic_fn, heuristic_name = heuristic, "custom"
+    reliability_override = None
+    reliable_flag = bool(reliable)
+    retry_limit = None
+    if isinstance(reliable, ReliabilityConfig):
+        reliability_override, reliable_flag = reliable, True
+    status_factory = None
+    spec_status = status
+    if not (status is None or isinstance(status, int)):
+        status_factory, spec_status = status, None
+    mapper_factory = None
+    spec_mapper = mapper
+    if not isinstance(mapper, str):
+        mapper_factory, spec_mapper = mapper, "rr"
+    spec = RunSpec(
+        workload="sat",
+        workload_params={
+            "clauses": [list(c) for c in cnf.clauses],
+            "num_vars": cnf.num_vars,
+        },
+        topology=topology_spec if topology_spec is not None else spec_of(topology),
+        mapper=spec_mapper,
+        status=spec_status,
         cancellation=cancellation,
-        seed=seed,
-        record_queue_depths=record_queue_depths,
         share_threshold=share_threshold,
-        size_fn=size_fn,
-        drop=drop,
-        duplicate=duplicate,
-        reliable=reliable,
-        telemetry=telemetry,
-        shards=n_shards,
-        shard_partitioner=shard_partitioner,
-    )
-    fn = make_solve_sat(
-        heuristic, rng=random.Random(seed), hint_mode=hint_mode, simplify=simplify
-    )
-    fn_spec = None
-    if n_shards > 1:
-        # workers rebuild the generator function from this picklable recipe
-        fn_spec = ShardProgramSpec(
-            make_solve_sat,
-            heuristic,
-            rng=random.Random(seed),
-            hint_mode=hint_mode,
-            simplify=simplify,
-        )
-    checkpointing = checkpoint_every is not None or resume_from is not None
-    checkpoint_meta = None
-    if checkpoint_every is not None:
-        # the workload header lets `repro solve --resume` rebuild this call
-        checkpoint_meta = {
-            "workload": {
-                "kind": "sat",
-                "clauses": [list(c) for c in cnf.clauses],
-                "num_vars": cnf.num_vars,
-                "topology_spec": topology_spec,
-                "mapper": mapper,
-                "status": status,
-                "heuristic": heuristic if isinstance(heuristic, str) else None,
-                "cancellation": cancellation,
-                "hint_mode": hint_mode,
-                "simplify": simplify,
-                "seed": seed,
-                "trigger_node": trigger_node,
-                "drain": drain,
-                "share_threshold": share_threshold,
-                "drop": drop,
-                "duplicate": duplicate,
-                "reliable": bool(reliable),
-            }
-        }
-    raw, report = stack.run_recursive(
-        fn,
-        SatProblem(cnf),
+        record_queue_depths=record_queue_depths,
+        heuristic=heuristic_name,
+        simplify=simplify,
+        hint_mode=hint_mode,
+        seed=seed,
         trigger_node=trigger_node,
         max_steps=max_steps,
-        halt_on_result=not drain,
+        drain=drain,
+        drop=drop,
+        duplicate=duplicate,
+        reliable=reliable_flag,
+        retry_limit=retry_limit,
         checkpoint_every=checkpoint_every,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_sink=checkpoint_sink,
-        checkpoint_meta=checkpoint_meta,
-        resume_from=resume_from,
-        fn_spec=fn_spec,
+        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir is not None else None,
+        shards=min(resolve_shards(shards), topology.n_nodes),
+        partitioner=shard_partitioner,
     )
-    assert stack.last_run is not None
-    state_digest = None
-    if checkpointing:
-        from ...state import state_digest_of
-
-        run = stack.last_run
-        state_digest = state_digest_of(stack._compose_layers(run.machine, run.scheduler))
-    rel = stack.last_run.machine.reliability
-    close = getattr(stack.last_run.machine, "close", None)
-    if close is not None:
-        close()
+    run = execute(
+        spec,
+        topology=topology,
+        telemetry=telemetry,
+        size_fn=size_fn,
+        checkpoint_sink=checkpoint_sink,
+        resume_from=resume_from,
+        reliability=reliability_override,
+        heuristic_fn=heuristic_fn,
+        mapper_factory=mapper_factory,
+        status_factory=status_factory,
+    )
     return DistributedSatResult(
         cnf,
-        raw,
-        report,
-        stack.last_run.engine_stats,
-        link_stats=rel.stats if rel is not None else None,
-        state_digest=state_digest,
+        run.result,
+        run.report,
+        run.engine_stats,
+        link_stats=run.link_stats,
+        state_digest=run.state_digest,
     )

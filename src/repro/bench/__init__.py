@@ -37,8 +37,11 @@ from .suites import (
     FULL,
     QUICK,
     BenchPreset,
+    figure4_grid,
     figure4_series,
     mesh_for,
+    preset_fingerprint,
+    preset_runspecs,
     sat_suite,
 )
 
@@ -58,6 +61,9 @@ __all__ = [
     "sat_suite",
     "mesh_for",
     "figure4_series",
+    "figure4_grid",
+    "preset_runspecs",
+    "preset_fingerprint",
     "FIGURE5_TORUS_DIMS",
     "figure4_to_dict",
     "figure5_to_dict",

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..parallel import SatTask, solve_sat_tasks
+from ..parallel import solve_sat_tasks
 from .report import format_table
-from .suites import BenchPreset, QUICK, figure4_series, mesh_for, sat_suite, with_seed
+from .suites import BenchPreset, QUICK, figure4_grid, mesh_for, sat_suite, with_seed
 
 __all__ = [
     "Figure4Point",
@@ -121,38 +121,16 @@ def run_figure4(
     seed, which reproduces the committed JSON baselines bit-for-bit.
     """
     preset = with_seed(preset, seed)
-    problems = sat_suite(preset)
     # flatten the sweep: one cell per (series, machine size), one task per
     # (cell, problem); the pool returns outcomes in task order, so the
-    # aggregation below is independent of scheduling
-    cells: List[Tuple[str, str, str, int, object]] = []
-    tasks: List[SatTask] = []
-    task_cells: List[Tuple[int, int]] = []  # (cell index, problem index)
-    for label, kind, mapper in figure4_series():
-        status = status_threshold if mapper == "lbn" else None
-        seen_sizes: set[int] = set()
-        for n_cores in preset.core_counts:
-            topo = mesh_for(kind, n_cores)
-            if topo.n_nodes in seen_sizes:
-                # two requested sizes snapped to the same square/cube mesh
-                continue
-            seen_sizes.add(topo.n_nodes)
-            cell = len(cells)
-            cells.append((label, kind, mapper, n_cores, topo))
-            for i, cnf in enumerate(problems):
-                tasks.append(
-                    SatTask(
-                        cnf,
-                        topo,
-                        mapper=mapper,
-                        status=status,
-                        heuristic=heuristic,
-                        simplify=simplify,
-                        seed=preset.seed + i,
-                        max_steps=preset.max_steps,
-                    )
-                )
-                task_cells.append((cell, i))
+    # aggregation below is independent of scheduling.  The grid itself
+    # lives in suites.py, where the preset also names each run's RunSpec.
+    cells, tasks, task_cells = figure4_grid(
+        preset,
+        status_threshold=status_threshold,
+        simplify=simplify,
+        heuristic=heuristic,
+    )
 
     outcomes = solve_sat_tasks(tasks, jobs=jobs)
 
@@ -191,7 +169,7 @@ def run_figure4(
 
         trace_topo = mesh_for("torus2d", max(preset.core_counts))
         result.trace_summary = capture_sat_trace(
-            problems[0],
+            sat_suite(preset)[0],
             trace_topo,
             trace_path,
             mapper="lbn",

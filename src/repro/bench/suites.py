@@ -6,7 +6,7 @@ Centralises the workload/machine grids the figure benches share, so the
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from ..apps.sat import CNF, uf20_91_suite
 from ..topology import FullyConnected, Topology, Torus, nearest_mesh_dims
@@ -19,6 +19,9 @@ __all__ = [
     "with_seed",
     "mesh_for",
     "figure4_series",
+    "figure4_grid",
+    "preset_runspecs",
+    "preset_fingerprint",
     "FIGURE5_TORUS_DIMS",
 ]
 
@@ -111,3 +114,82 @@ def figure4_series() -> List[Tuple[str, str, str]]:
 
 #: Figure 5's machine: "a 196-core 2D torus machine"
 FIGURE5_TORUS_DIMS = (14, 14)
+
+
+def figure4_grid(
+    preset: BenchPreset,
+    *,
+    status_threshold: "int | None" = 16,
+    simplify: str = "none",
+    heuristic: str = "max_occurrence",
+):
+    """The flattened Figure-4 sweep: cells, tasks and their mapping.
+
+    One *cell* per ``(series, machine size)`` (sizes that snap to the same
+    square/cube mesh are deduplicated), one task per ``(cell, problem)``.
+    Returns ``(cells, tasks, task_cells)`` where ``cells`` is a list of
+    ``(label, kind, mapper, requested_cores, topology)`` tuples, ``tasks``
+    the :class:`~repro.parallel.SatTask` list in deterministic order and
+    ``task_cells`` the ``(cell index, problem index)`` pair for each task.
+
+    This is the single place the preset's workload is spelled out; the
+    figure bench executes it and :func:`preset_runspecs` names it.
+    """
+    from ..parallel import SatTask
+
+    problems = sat_suite(preset)
+    cells: List[Tuple[str, str, str, int, object]] = []
+    tasks: List[SatTask] = []
+    task_cells: List[Tuple[int, int]] = []
+    for label, kind, mapper in figure4_series():
+        status = status_threshold if mapper == "lbn" else None
+        seen_sizes: "set[int]" = set()
+        for n_cores in preset.core_counts:
+            topo = mesh_for(kind, n_cores)
+            if topo.n_nodes in seen_sizes:
+                # two requested sizes snapped to the same square/cube mesh
+                continue
+            seen_sizes.add(topo.n_nodes)
+            cell = len(cells)
+            cells.append((label, kind, mapper, n_cores, topo))
+            for i, cnf in enumerate(problems):
+                tasks.append(
+                    SatTask(
+                        cnf,
+                        topo,
+                        mapper=mapper,
+                        status=status,
+                        heuristic=heuristic,
+                        simplify=simplify,
+                        seed=preset.seed + i,
+                        max_steps=preset.max_steps,
+                    )
+                )
+                task_cells.append((cell, i))
+    return cells, tasks, task_cells
+
+
+def preset_runspecs(preset: BenchPreset, **grid_kwargs):
+    """Every run of the preset's Figure-4 sweep as a canonical RunSpec.
+
+    The list is in the same deterministic order as the tasks
+    :func:`~repro.bench.run_figure4` executes; each entry is the
+    JSON-round-trippable :class:`repro.engine.RunSpec` the corresponding
+    cell runs through :func:`repro.engine.execute`.
+    """
+    _cells, tasks, _task_cells = figure4_grid(preset, **grid_kwargs)
+    return [task.to_runspec() for task in tasks]
+
+
+def preset_fingerprint(preset: BenchPreset, **grid_kwargs) -> str:
+    """One digest naming the preset's entire sweep workload.
+
+    Changes whenever any cell's formula, machine or knob changes —
+    recorded into the performance baseline so a benchmark-number drift
+    can be told apart from a benchmark-*workload* drift.
+    """
+    from ..netsim.digest import canonical_digest
+
+    return canonical_digest(
+        [spec.to_dict() for spec in preset_runspecs(preset, **grid_kwargs)]
+    )

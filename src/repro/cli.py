@@ -203,41 +203,56 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_solve(args) -> int:
-    from .apps.sat import dpll_solve, load_dimacs, solve_on_machine, uf20_91_suite
-    from .apps.sat.cnf import CNF
+    from .apps.sat import dpll_solve, load_dimacs, uf20_91_suite
     from .bench import heatmap_ascii, sparkline
+    from .engine import RunSpec, cnf_of, execute
+    from .errors import ApplicationError, SimulationError, SpecError
+    from .netsim import resolve_shards
     from .state import load_checkpoint
     from .topology import topology_from_spec
 
     resume_ckpt = None
+    header_spec = None
     if args.resume is not None:
         from .errors import CheckpointError
 
-        # the checkpoint header is authoritative for the whole workload:
-        # formula, machine and solver flags all come from the original run
+        # the checkpoint header embeds the canonical RunSpec: formula,
+        # machine and solver flags all come from the original run
         try:
             resume_ckpt = load_checkpoint(args.resume)
         except CheckpointError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        workload = resume_ckpt.meta.get("workload")
-        if not workload or workload.get("kind") != "sat":
+        header = resume_ckpt.meta.get("runspec")
+        if not header:
             print(
-                f"error: {args.resume} carries no solve workload header "
+                f"error: {args.resume} carries no runspec header "
                 "(was it written by `repro solve --checkpoint-every`?)",
                 file=sys.stderr,
             )
             return 2
-        cnf = CNF(workload["clauses"], workload["num_vars"])
-        args.topology = workload["topology_spec"] or args.topology
-        args.mapper = workload["mapper"]
-        args.status = workload["status"]
-        args.heuristic = workload["heuristic"]
-        args.simplify = workload["simplify"]
-        args.seed = workload["seed"]
-        args.drop = workload["drop"]
-        args.dup = workload["duplicate"]
-        args.reliable = workload["reliable"]
+        try:
+            header_spec = RunSpec.from_dict(header)
+        except SpecError as exc:
+            print(f"error: {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        if header_spec.workload != "sat":
+            print(
+                f"error: {args.resume} checkpoints a "
+                f"{header_spec.workload!r} workload; `repro solve --resume` "
+                "resumes only 'sat' runs",
+                file=sys.stderr,
+            )
+            return 2
+        if header_spec.topology is None or header_spec.heuristic == "custom":
+            print(
+                f"error: {args.resume} was checkpointed from a run with a "
+                "non-serialisable topology or heuristic; resume it "
+                "programmatically via repro.engine.execute",
+                file=sys.stderr,
+            )
+            return 2
+        cnf = cnf_of(header_spec.workload_params)
         if not args.quiet:
             print(
                 f"c resuming from      {args.resume} "
@@ -247,24 +262,32 @@ def _cmd_solve(args) -> int:
         cnf = load_dimacs(args.cnf)
     else:
         cnf = uf20_91_suite(1, seed=args.seed)[0]
-    topo = topology_from_spec(args.topology)
-    reliable = args.reliable or args.retry_limit is not None
-    if args.retry_limit is not None:
-        from .reliability import ReliabilityConfig
 
-        reliable = ReliabilityConfig(retry_limit=args.retry_limit)
-    from .errors import ApplicationError, SimulationError
-    from .netsim import resolve_shards
-
+    topo = topology_from_spec(
+        header_spec.topology if header_spec is not None else args.topology
+    )
     try:
         n_shards = min(resolve_shards(args.shards), topo.n_nodes)
     except SimulationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    try:
-        res = solve_on_machine(
-            cnf,
-            topo,
+    if header_spec is not None:
+        # --shards is honoured on --resume too: checkpoints carry no shard
+        # count, so a run may be checkpointed sharded and resumed serially
+        spec = header_spec.with_(
+            shards=n_shards,
+            partitioner=args.shard_partitioner,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir if args.checkpoint_every else None,
+        )
+    else:
+        spec = RunSpec(
+            workload="sat",
+            workload_params={
+                "clauses": [list(c) for c in cnf.clauses],
+                "num_vars": cnf.num_vars,
+            },
+            topology=args.topology,
             mapper=args.mapper,
             status=args.status,
             heuristic=args.heuristic,
@@ -272,51 +295,60 @@ def _cmd_solve(args) -> int:
             seed=args.seed,
             drop=args.drop,
             duplicate=args.dup,
-            reliable=reliable,
+            reliable=args.reliable or args.retry_limit is not None,
+            retry_limit=args.retry_limit,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir if args.checkpoint_every else None,
-            resume_from=resume_ckpt,
-            topology_spec=args.topology,
-            # --shards is honoured on --resume too: checkpoints carry no shard
-            # count, so a run may be checkpointed sharded and resumed serially
             shards=n_shards,
-            shard_partitioner=args.shard_partitioner,
+            partitioner=args.shard_partitioner,
         )
+    try:
+        run = execute(spec, topology=topo, resume_from=resume_ckpt)
     except (ApplicationError, SimulationError) as exc:
         # contradictory flag combinations (e.g. --shards with the shared-RNG
-        # 'random' heuristic) are usage errors, not crashes
+        # 'random' heuristic) are usage errors, not crashes — and they carry
+        # the same message here, in the library shim and in the fuzzer,
+        # because all three reject through engine.validate
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    satisfiable = run.verdict["sat"]
     seq = dpll_solve(cnf)
-    if res.satisfiable != seq.satisfiable:
+    if satisfiable != seq.satisfiable:
         print("ERROR: distributed and sequential solvers disagree", file=sys.stderr)
         return 2
-    if res.satisfiable:
-        model = dict(sorted(res.assignment.items()))
+    if satisfiable:
+        model = dict(sorted(dict(run.verdict["assignment"]).items()))
         lits = " ".join(str(v if val else -v) for v, val in model.items())
         print(f"s SATISFIABLE\nv {lits} 0")
     else:
         print("s UNSATISFIABLE")
     if not args.quiet:
-        rep = res.report
-        print(f"c machine            {topo.describe()} ({args.mapper})")
+        rep = run.report
+        print(f"c machine            {topo.describe()} ({spec.mapper})")
         if n_shards > 1:
             print(
                 f"c sharded backend    {n_shards} worker processes "
-                f"({args.shard_partitioner} partition)"
+                f"({spec.partitioner} partition)"
             )
-        if args.drop or args.dup:
-            guard = "reliable delivery on" if reliable else "UNPROTECTED"
-            print(f"c link faults        drop={args.drop} dup={args.dup} ({guard})")
-        if res.link_stats is not None:
-            ls = res.link_stats
+        if spec.drop or spec.duplicate:
+            guard = (
+                "reliable delivery on"
+                if spec.reliable or spec.retry_limit is not None
+                else "UNPROTECTED"
+            )
+            print(
+                f"c link faults        drop={spec.drop} dup={spec.duplicate} "
+                f"({guard})"
+            )
+        if run.link_stats is not None:
+            ls = run.link_stats
             print(
                 f"c reliability        {ls.retransmits} retransmits, "
                 f"{ls.dups_suppressed} dups suppressed, "
                 f"{ls.frames_lost} frames lost, {ls.exhausted} exhausted"
             )
-        if res.state_digest is not None:
-            print(f"c state digest       {res.state_digest}")
+        if run.state_digest is not None:
+            print(f"c state digest       {run.state_digest}")
         if args.checkpoint_every:
             print(
                 f"c checkpoints        every {args.checkpoint_every} steps "
@@ -469,9 +501,13 @@ def _cmd_fuzz(args) -> int:
             return 2
 
     if args.replay is not None:
+        from .errors import SpecError
+
         try:
             result = replay_artifact(args.replay, shard_backend=args.shard_backend)
-        except ArtifactError as exc:
+        except (ArtifactError, SpecError) as exc:
+            # SpecError comes from the same engine.validate table that
+            # drives `repro solve` exit-2 paths — identical message
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(f"replayed   {args.replay}")

@@ -112,9 +112,21 @@ def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
 def replay_artifact(
     path: Union[str, Path], *, shard_backend: str = "inline"
 ) -> CheckResult:
-    """Re-run the oracle on an artifact's config, deterministically."""
+    """Re-run the oracle on an artifact's config, deterministically.
+
+    The embedded config is first checked against the single capability
+    table in :mod:`repro.engine` (normalised to its serial baseline —
+    shard count and checkpoint cadence are per-mode knobs): a hand-edited
+    artifact naming an unknown mapper or an impossible knob combination
+    raises :class:`~repro.errors.SpecError` with the *same message*
+    ``repro solve`` and ``solve_on_machine`` would print, instead of
+    being reported as a mode "crash" discrepancy.
+    """
+    from ..engine import validate
+
     payload = load_artifact(path)
     disc: Discrepancy = payload["discrepancy"]
+    validate(disc.config.to_runspec().with_(shards=1, checkpoint_every=None))
     return check_config(
         disc.config, modes=payload.get("modes"), shard_backend=shard_backend
     )

@@ -83,6 +83,38 @@ class FuzzConfig:
         """A copy with ``changes`` applied (shrinker convenience)."""
         return replace(self, **changes)
 
+    def to_runspec(self):
+        """The :class:`repro.engine.RunSpec` this config names.
+
+        The config is the fuzz-space *point*; the spec is the executable
+        run.  ``ckpt_step`` maps to ``checkpoint_every`` and the oracle
+        always runs non-strict (a hung config is a *finding*, not a
+        crash).  Shard count / backend are mode-level knobs the oracle
+        overrides per execution mode via ``RunSpec.with_``.
+        """
+        from ..engine import RunSpec
+
+        return RunSpec(
+            workload=self.workload,
+            workload_params=dict(self.workload_params),
+            topology=self.topology,
+            mapper=self.mapper,
+            status=self.status,
+            heuristic=self.heuristic,
+            simplify=self.simplify,
+            hint_mode=self.hint_mode,
+            drain=self.drain,
+            seed=self.seed,
+            drop=self.drop,
+            duplicate=self.duplicate,
+            reliable=self.reliable,
+            shards=self.shards,
+            partitioner=self.partitioner,
+            checkpoint_every=self.ckpt_step,
+            max_steps=self.max_steps,
+            strict=False,
+        )
+
     def describe(self) -> str:
         """One-line human summary (fuzz-loop progress, artifacts)."""
         parts = [f"{self.workload}{self.workload_params}", self.topology,
@@ -143,17 +175,12 @@ def build_cnf(config: FuzzConfig):
     :func:`repro.apps.sat.generator.uniform_random_ksat` (unfiltered, so
     both SAT and UNSAT instances occur); explicit-clause params are used
     verbatim.  Deterministic: the formula is a pure function of the
-    params.
+    params.  Thin alias for :func:`repro.engine.cnf_of`, kept as the
+    conformance-facing name.
     """
-    from ..apps.sat.cnf import CNF
-    from ..apps.sat.generator import uniform_random_ksat
+    from ..engine import cnf_of
 
-    params = config.workload_params
-    if "clauses" in params:
-        return CNF([tuple(c) for c in params["clauses"]], params["num_vars"])
-    rng = random.Random(params["formula_seed"])
-    k = min(3, params["num_vars"])
-    return uniform_random_ksat(params["num_vars"], params["num_clauses"], k, rng)
+    return cnf_of(config.workload_params)
 
 
 # -- sampling ---------------------------------------------------------------

@@ -26,19 +26,14 @@ the resumed run land on the identical final outcome.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
-from ..netsim import EMPTY_MSG, Machine, ShardProgramSpec, ShardedMachine
-from ..netsim.digest import canonical_digest
-from ..netsim.faults import FaultModel, ReliableLinks
-from ..rng import substream
-from ..stack import HyperspaceStack
-from ..state import state_digest_of
+from .. import engine
+from ..engine import INCOMPLETE, execute
 from ..telemetry import TelemetryBus
 from ..telemetry.metrics import MetricsSubscriber
-from ..topology import Topology, topology_from_spec
+from ..topology import topology_from_spec
 from .space import FuzzConfig, build_cnf
 
 __all__ = [
@@ -51,9 +46,6 @@ __all__ = [
 #: the sharded coordinator reports its partition through these counters; a
 #: serial run has no partition, so parity comparisons must ignore them
 SHARD_ONLY_METRICS = ("l1.shard_count", "l1.shard_edge_cut")
-
-#: verdict marker for runs that exhausted max_steps without an answer
-INCOMPLETE: Tuple[str] = ("incomplete",)
 
 
 @dataclass
@@ -93,26 +85,23 @@ class RunOutcome:
 def checkpointable(config: FuzzConfig) -> bool:
     """Can this config run under checkpoint/resume?
 
-    ``traversal`` is a bare layer-1 program: :meth:`Machine.snapshot`
-    covers the netsim core but node *program* state belongs to the layer-2
-    snapshot protocol, which a program-less machine does not run.  The
-    ``"random"`` SAT heuristic shares one RNG stream across invocations
-    and is rejected by the checkpoint protocol.
+    Delegates to the capability-rule table in :mod:`repro.engine` — the
+    same rules that reject the combination with an exit-2 error in
+    ``repro solve`` and a :class:`~repro.errors.SpecError` in the library
+    (``traversal`` is a bare layer-1 program outside the layer-2 snapshot
+    protocol; the ``"random"`` SAT heuristic shares one RNG stream).
     """
-    if config.workload == "traversal":
-        return False
-    if config.workload == "sat" and config.heuristic == "random":
-        return False
-    return True
+    return engine.checkpointable(config.to_runspec())
 
 
 def shardable(config: FuzzConfig) -> bool:
     """Can this config run on the sharded backend?
 
-    Everything except the shared-RNG ``"random"`` SAT heuristic (each
-    worker would hold its own copy and the draws would diverge).
+    Delegates to :func:`repro.engine.shardable`: everything except the
+    shared-RNG ``"random"`` SAT heuristic (each worker would hold its own
+    copy and the draws would diverge).
     """
-    return not (config.workload == "sat" and config.heuristic == "random")
+    return engine.shardable(config.to_runspec())
 
 
 def applicable_modes(config: FuzzConfig) -> List[str]:
@@ -152,74 +141,27 @@ def _filter_counters(sub: MetricsSubscriber) -> Dict[str, Dict[str, Any]]:
     return metrics
 
 
-def _schedule_digest(verdict: Any, report: Any) -> str:
-    return canonical_digest({
-        "verdict": verdict,
-        "steps": report.steps,
-        "computation_time": report.computation_time,
-        "sent": report.sent_total,
-        "delivered": report.delivered_total,
-        "dropped": report.dropped_total,
-        "queued": [int(q) for q in report.queued_series],
-    })
+def _mode_spec(
+    config: FuzzConfig,
+    *,
+    shards: int,
+    shard_backend: str,
+    capture_checkpoints: bool = False,
+):
+    """The :class:`~repro.engine.RunSpec` for one execution mode.
 
-
-def _semantic_digest(layers: Dict[str, Any]) -> str:
-    """State digest over the semantic layers (telemetry held separately)."""
-    return state_digest_of({k: v for k, v in layers.items() if k != "telemetry"})
-
-
-def _stack_verdict(config: FuzzConfig, run) -> Tuple[bool, Any]:
-    if not run.results:
-        return False, INCOMPLETE
-    raw = run.results[0]
-    if config.workload == "sat":
-        return True, {
-            "kind": "sat",
-            "sat": raw is not None,
-            "assignment": sorted(dict(raw).items()) if raw is not None else None,
-        }
-    if config.workload == "fib":
-        return True, {"kind": "fib", "value": raw}
-    return True, {
-        "kind": "nqueens",
-        "placement": list(raw) if raw is not None else None,
-    }
-
-
-def _build_fn(config: FuzzConfig):
-    """The layer-5 function + (for sharded runs) its picklable recipe."""
-    if config.workload == "sat":
-        from ..apps.sat.distributed import make_solve_sat
-
-        kwargs = dict(hint_mode=config.hint_mode, simplify=config.simplify)
-        fn = make_solve_sat(
-            config.heuristic, rng=random.Random(config.seed), **kwargs
-        )
-        spec = ShardProgramSpec(
-            make_solve_sat, config.heuristic,
-            rng=random.Random(config.seed), **kwargs,
-        )
-        return fn, spec
-    if config.workload == "fib":
-        from ..apps.fib import fib
-
-        return fib, None  # module-level: pickles by reference
-    from ..apps.nqueens import nqueens
-
-    return nqueens, None
-
-
-def _stack_args(config: FuzzConfig) -> Any:
-    if config.workload == "sat":
-        from ..apps.sat.distributed import SatProblem
-
-        return SatProblem(build_cnf(config))
-    if config.workload == "fib":
-        return config.workload_params["n"]
-    from ..apps.nqueens import QueensProblem
-
-    return QueensProblem(config.workload_params["n"])
+    ``to_runspec`` names the config's canonical run; the mode then pins
+    the backend knobs (shard count, worker backend) and whether this run
+    *produces* checkpoints — only the serial baseline captures them, and
+    only when the capability rules allow it (a spec carrying
+    ``checkpoint_every`` for an uncheckpointable workload would be
+    rejected by :func:`~repro.engine.validate`, by design).
+    """
+    return config.to_runspec().with_(
+        shards=shards,
+        shard_backend=shard_backend,
+        checkpoint_every=config.ckpt_step if capture_checkpoints else None,
+    )
 
 
 def _run_stack(
@@ -231,50 +173,27 @@ def _run_stack(
     capture_checkpoints: bool = False,
     resume_from: Any = None,
 ) -> RunOutcome:
-    """Run a layer-5 workload through :class:`HyperspaceStack`."""
+    """Run a layer-5 workload through :func:`repro.engine.execute`."""
     bus = TelemetryBus()
     sub = bus.attach(MetricsSubscriber())
-    stack = HyperspaceStack(
-        topology_from_spec(config.topology),
-        mapper=config.mapper,
-        status=config.status,
-        seed=config.seed,
-        drop=config.drop,
-        duplicate=config.duplicate,
-        reliable=config.reliable,
-        telemetry=bus,
-        shards=shards,
-        shard_backend=shard_backend,
+    spec = _mode_spec(
+        config, shards=shards, shard_backend=shard_backend,
+        capture_checkpoints=capture_checkpoints,
     )
-    fn, spec = _build_fn(config)
     checkpoints: List[Any] = []
-    kwargs: Dict[str, Any] = {}
-    if capture_checkpoints and config.ckpt_step is not None:
-        kwargs["checkpoint_every"] = config.ckpt_step
-        kwargs["checkpoint_sink"] = checkpoints.append
-    if resume_from is not None:
-        kwargs["resume_from"] = resume_from
-    _result, report = stack.run_recursive(
-        fn,
-        None if resume_from is not None else _stack_args(config),
-        max_steps=config.max_steps,
-        strict=False,
-        halt_on_result=not config.drain,
-        fn_spec=spec if shards > 1 else None,
-        **kwargs,
+    run = execute(
+        spec,
+        telemetry=bus,
+        checkpoint_sink=checkpoints.append if capture_checkpoints else None,
+        resume_from=resume_from,
+        want_state_digest=True,
     )
-    run = stack.last_run
-    completed, verdict = _stack_verdict(config, run)
-    layers = stack._compose_layers(run.machine, run.scheduler)
-    close = getattr(run.machine, "close", None)
-    if close is not None:
-        close()
     return RunOutcome(
         mode=mode,
-        completed=completed,
-        verdict=verdict,
-        schedule_digest=_schedule_digest(verdict, report),
-        state_digest=_semantic_digest(layers),
+        completed=run.completed,
+        verdict=run.verdict,
+        schedule_digest=run.schedule_digest(),
+        state_digest=run.semantic_digest,
         counters=_filter_counters(sub),
         checkpoints=checkpoints,
     )
@@ -283,64 +202,18 @@ def _run_stack(
 # -- traversal (bare layer 1) ----------------------------------------------
 
 
-def _traversal_visited_rpc(program, ctx, arg):
-    """map_nodes RPC: read one node's visited flag inside its shard."""
-    return bool(ctx.state["visited"])
-
-
 def _run_traversal(config: FuzzConfig, mode: str, *, shards: int,
                    shard_backend: str) -> RunOutcome:
-    from ..apps.traversal import traversal_program
-
-    topology = topology_from_spec(config.topology)
     bus = TelemetryBus()
     sub = bus.attach(MetricsSubscriber())
-    if config.drop or config.duplicate:
-        faults = FaultModel(
-            config.drop, config.duplicate,
-            rng=substream(config.seed, "l1-faults"),
-        )
-    else:
-        faults = ReliableLinks
-    common = dict(
-        seed=config.seed,
-        faults=faults,
-        reliability=config.reliable,
-        telemetry=bus,
-    )
-    if shards > 1:
-        machine: Machine = ShardedMachine(
-            topology,
-            ShardProgramSpec(traversal_program),
-            shards=shards,
-            partitioner=config.partitioner,
-            shard_backend=shard_backend,
-            **common,
-        )
-    else:
-        machine = Machine(topology, traversal_program(), **common)
-    machine.inject(0, EMPTY_MSG)
-    report = machine.run(max_steps=config.max_steps)
-    if isinstance(machine, ShardedMachine):
-        per = machine.map_nodes(_traversal_visited_rpc)
-        visited = [n for n in topology.nodes() if per[n]]
-        machine.drain_telemetry()
-    else:
-        visited = [n for n in topology.nodes() if machine.state_of(n)["visited"]]
-    verdict = {"kind": "traversal", "visited": visited}
-    snapshot = machine.snapshot()
-    layers: Dict[str, Any] = {"netsim": snapshot}
-    if machine.reliability is not None:
-        layers["reliability"] = machine.reliability.snapshot()
-    close = getattr(machine, "close", None)
-    if close is not None:
-        close()
+    spec = _mode_spec(config, shards=shards, shard_backend=shard_backend)
+    run = execute(spec, telemetry=bus, want_state_digest=True)
     return RunOutcome(
         mode=mode,
-        completed=True,
-        verdict=verdict,
-        schedule_digest=_schedule_digest(verdict, report),
-        state_digest=_semantic_digest(layers),
+        completed=run.completed,
+        verdict=run.verdict,
+        schedule_digest=run.schedule_digest(),
+        state_digest=run.semantic_digest,
         counters=_filter_counters(sub),
     )
 

@@ -1,0 +1,880 @@
+"""The run engine: one declarative spec, one validator, one executor.
+
+The paper's central claim is layer substitutability — the same solver
+program runs unchanged across interconnects, mappers and execution
+backends.  This module is where that claim becomes a single funnel:
+
+* :class:`RunSpec` — a frozen, JSON-round-trippable description of one
+  run: workload + topology + mapper/status + heuristic + fault schedule
+  + reliability + checkpoint policy + shard backend, with a schema
+  version.  Anything a run needs that *cannot* be JSON (a pre-built
+  topology object, a telemetry bus, a checkpoint sink callable) is a
+  runtime attachment passed to :func:`execute` instead.
+* :func:`validate` — the one capability-rule table.  The CLI, the
+  :func:`~repro.apps.sat.distributed.solve_on_machine` shim and the
+  conformance fuzzer all reject a bad configuration with the *same*
+  message, because they all reject it here.
+* :func:`execute` — the only place in the library where a
+  :class:`~repro.stack.HyperspaceStack` (or a bare layer-1 machine for
+  the ``traversal`` workload) is assembled.  ``tools/check_entrypoints.py``
+  enforces this in CI.
+
+Checkpoint headers embed the canonical spec JSON (``meta["runspec"]``),
+so ``repro solve --resume`` rebuilds the original run through the same
+funnel it was started from — see ``docs/runspec.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from .errors import SpecError, TopologyError
+from .netsim import EMPTY_MSG, Machine, ShardProgramSpec, ShardedMachine
+from .netsim.digest import canonical_digest
+from .netsim.faults import FaultModel, ReliableLinks
+from .rng import substream
+from .stack import HyperspaceStack
+from .state import state_digest_of
+from .topology import Topology, topology_from_spec
+
+__all__ = [
+    "INCOMPLETE",
+    "RULES",
+    "RunResult",
+    "RunSpec",
+    "SCHEMA_VERSION",
+    "SpecError",
+    "WORKLOAD_NAMES",
+    "checkpoint_blockers",
+    "checkpointable",
+    "cnf_of",
+    "execute",
+    "schedule_digest",
+    "shard_blockers",
+    "shardable",
+    "validate",
+    "violations",
+]
+
+#: the RunSpec wire-format version; bump when a field changes meaning
+SCHEMA_VERSION = 1
+
+#: workloads the engine can build a layer-5 function for.  ``custom``
+#: marks a run whose function is a runtime attachment (``execute(fn=...)``);
+#: such specs execute but their checkpoint headers cannot rebuild them.
+WORKLOAD_NAMES = ("sat", "fib", "nqueens", "sumrec", "traversal", "custom")
+
+#: verdict marker for runs that exhausted max_steps without an answer
+INCOMPLETE: Tuple[str] = ("incomplete",)
+
+_SIMPLIFY_NAMES = ("none", "single", "fixpoint")
+_HINT_MODES = (None, "clauses", "vars")
+_SHARE_LOADS = ("queue", "invocations")
+_QUEUE_POLICIES = ("fifo", "lifo", "random")
+_PARTITIONER_NAMES = ("strip", "grid", "greedy")
+_SHARD_BACKENDS = ("auto", "process", "inline")
+
+
+# -- the spec ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One run of one workload on one simulated machine, as plain data.
+
+    Every field is JSON-safe; :meth:`to_dict`/:meth:`from_dict` round-trip
+    losslessly and reject unknown fields, so a spec written into a
+    checkpoint header or a conformance artifact today is still readable
+    (or cleanly refused, by version) tomorrow.  See ``docs/runspec.md``
+    for the field table and the validation rules.
+    """
+
+    version: int = SCHEMA_VERSION
+    # -- workload (layer 5)
+    workload: str = "fib"
+    workload_params: Dict[str, Any] = field(default_factory=lambda: {"n": 5})
+    # -- machine (layer 1) + placement (layer 3)
+    topology: Optional[str] = None
+    mapper: str = "rr"
+    status: Optional[int] = None
+    # -- recursion/scheduling knobs (layers 2-4)
+    cancellation: bool = False
+    forward_hops: int = 0
+    share_threshold: Optional[int] = None
+    share_load: str = "queue"
+    scheduler_budget: Optional[int] = None
+    queue_policy: str = "fifo"
+    queue_capacity: Optional[int] = None
+    record_queue_depths: bool = False
+    # -- SAT solver knobs (ignored by other workloads)
+    heuristic: str = "max_occurrence"
+    simplify: str = "single"
+    hint_mode: Optional[str] = None
+    # -- run protocol
+    seed: int = 0
+    trigger_node: int = 0
+    max_steps: int = 1_000_000
+    drain: bool = True
+    strict: bool = True
+    # -- fault schedule + layer-1.5 reliability
+    latency: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reliable: bool = False
+    retry_limit: Optional[int] = None
+    # -- checkpoint policy
+    checkpoint_every: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    # -- sharded backend
+    shards: int = 1
+    partitioner: str = "strip"
+    shard_backend: str = "auto"
+    # -- bandwidth accounting (SAT envelope sizer)
+    sat_sizing: bool = False
+
+    # -- (de)serialisation ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-encodable; checkpoint-header payload)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["workload_params"] = dict(self.workload_params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_dict`; unknown fields and unsupported
+        schema versions are rejected (missing fields take defaults)."""
+        if not isinstance(data, dict):
+            raise SpecError(f"RunSpec data must be a dict, got {type(data).__name__}")
+        known = set(cls.__dataclass_fields__)
+        extra = sorted(set(data) - known)
+        if extra:
+            raise SpecError(f"unknown RunSpec fields: {extra}")
+        version = data.get("version", SCHEMA_VERSION)
+        if not isinstance(version, int) or not 1 <= version <= SCHEMA_VERSION:
+            raise SpecError(
+                f"unsupported RunSpec schema version {version!r} "
+                f"(this build understands 1..{SCHEMA_VERSION})"
+            )
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON form; ``from_json(to_json(spec)) == spec``."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"RunSpec JSON does not parse: {exc}") from exc
+        return cls.from_dict(data)
+
+    def canonical_json(self) -> str:
+        """Minimal sorted-key JSON: equal specs, equal bytes."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Stable hash of the canonical form (spec identity for parity tests)."""
+        return canonical_digest(self.to_dict())
+
+    def with_(self, **changes: Any) -> "RunSpec":
+        """A copy with ``changes`` applied."""
+        unknown = sorted(set(changes) - set(self.__dataclass_fields__))
+        if unknown:
+            raise SpecError(f"unknown RunSpec fields: {unknown}")
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human summary (progress lines, error context)."""
+        parts = [f"{self.workload}{self.workload_params}",
+                 self.topology or "<topology object>", f"mapper={self.mapper}"]
+        if self.workload == "sat":
+            parts.append(f"heur={self.heuristic}/{self.simplify}")
+        if self.drop or self.duplicate:
+            guard = "reliable" if self.reliable else "unprotected"
+            parts.append(f"faults={self.drop}/{self.duplicate}({guard})")
+        if self.shards > 1:
+            parts.append(f"shards={self.shards}({self.partitioner})")
+        if self.checkpoint_every is not None:
+            parts.append(f"ckpt@{self.checkpoint_every}")
+        parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+
+def cnf_of(params: Dict[str, Any]):
+    """Materialise a ``sat`` spec's CNF formula from its workload params.
+
+    Either an explicit formula (``{"clauses": [[...]], "num_vars": N}``,
+    used verbatim) or a generator recipe (``{"num_vars", "num_clauses",
+    "formula_seed"}`` through :func:`~repro.apps.sat.generator.uniform_random_ksat`,
+    unfiltered so both SAT and UNSAT instances occur).  Deterministic:
+    the formula is a pure function of the params.
+    """
+    from .apps.sat.cnf import CNF
+    from .apps.sat.generator import uniform_random_ksat
+
+    if "clauses" in params:
+        return CNF([tuple(c) for c in params["clauses"]], params["num_vars"])
+    rng = random.Random(params["formula_seed"])
+    k = min(3, params["num_vars"])
+    return uniform_random_ksat(params["num_vars"], params["num_clauses"], k, rng)
+
+
+# -- the capability-rule table ----------------------------------------------
+
+#: why the 'random' SAT heuristic cannot be checkpointed (shared RNG stream)
+_RANDOM_CKPT_MSG = (
+    "the 'random' branching heuristic shares one RNG stream across "
+    "invocations and cannot be checkpointed/resumed deterministically; "
+    "use a deterministic heuristic (e.g. 'max_occurrence')"
+)
+#: why the 'random' SAT heuristic cannot run sharded (per-worker RNG copies)
+_RANDOM_SHARD_MSG = (
+    "the 'random' branching heuristic shares one RNG stream across "
+    "invocations; under the sharded backend each worker would hold "
+    "its own copy and the draws would diverge from a serial run — "
+    "use a deterministic heuristic (e.g. 'max_occurrence')"
+)
+#: why work sharing cannot run sharded (mirrors the HyperspaceStack guard)
+_SHARE_SHARD_MSG = (
+    "work sharing (share_threshold) reads live inbox depths and "
+    "is not supported with shards > 1"
+)
+#: why traversal cannot be checkpointed (bare layer-1 program)
+_TRAVERSAL_CKPT_MSG = (
+    "the 'traversal' workload is a bare layer-1 program: node program "
+    "state lives outside the layer-2 snapshot protocol, so it cannot be "
+    "checkpointed or resumed"
+)
+
+
+def checkpoint_blockers(spec: RunSpec) -> List[str]:
+    """Why this spec could not run under checkpoint/resume ([] = it can)."""
+    blockers = []
+    if spec.workload == "traversal":
+        blockers.append(_TRAVERSAL_CKPT_MSG)
+    if spec.workload == "sat" and spec.heuristic == "random":
+        blockers.append(_RANDOM_CKPT_MSG)
+    return blockers
+
+
+def shard_blockers(spec: RunSpec) -> List[str]:
+    """Why this spec could not run on the sharded backend ([] = it can)."""
+    blockers = []
+    if spec.workload == "sat" and spec.heuristic == "random":
+        blockers.append(_RANDOM_SHARD_MSG)
+    if spec.share_threshold is not None:
+        blockers.append(_SHARE_SHARD_MSG)
+    return blockers
+
+
+def checkpointable(spec: RunSpec) -> bool:
+    """Can this spec run under checkpoint/resume?"""
+    return not checkpoint_blockers(spec)
+
+
+def shardable(spec: RunSpec) -> bool:
+    """Can this spec run on the sharded backend?"""
+    return not shard_blockers(spec)
+
+
+class Rule(NamedTuple):
+    """One row of the validation table: a code, a doc line, a predicate.
+
+    ``check(spec)`` returns an error message, or None when the rule holds.
+    The docs page renders this table directly (``docs/runspec.md``)."""
+
+    code: str
+    doc: str
+    check: Callable[[RunSpec], Optional[str]]
+
+
+def _enum(value: Any, allowed: Tuple[Any, ...], what: str) -> Optional[str]:
+    if value not in allowed:
+        return f"unknown {what} {value!r}; expected one of {allowed}"
+    return None
+
+
+def _check_workload_params(spec: RunSpec) -> Optional[str]:
+    params = spec.workload_params
+    if not isinstance(params, dict):
+        return f"workload_params must be a dict, got {type(params).__name__}"
+    if spec.workload in ("fib", "nqueens", "sumrec"):
+        n = params.get("n")
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            return (
+                f"workload {spec.workload!r} needs workload_params"
+                f"['n'] (a non-negative int), got {params!r}"
+            )
+    if spec.workload == "sat":
+        explicit = "clauses" in params and "num_vars" in params
+        recipe = all(k in params for k in ("num_vars", "num_clauses", "formula_seed"))
+        if not (explicit or recipe):
+            return (
+                "workload 'sat' needs workload_params {'clauses', 'num_vars'} "
+                "(explicit formula) or {'num_vars', 'num_clauses', "
+                "'formula_seed'} (generator recipe), got "
+                f"{sorted(params)!r}"
+            )
+    return None
+
+
+def _check_topology(spec: RunSpec) -> Optional[str]:
+    if spec.topology is None:
+        return None
+    try:
+        topo = topology_from_spec(spec.topology)
+    except TopologyError as exc:
+        return f"bad topology spec {spec.topology!r}: {exc}"
+    if not 0 <= spec.trigger_node < topo.n_nodes:
+        return (
+            f"trigger_node {spec.trigger_node} out of range for "
+            f"{spec.topology!r} ({topo.n_nodes} nodes)"
+        )
+    return None
+
+
+def _check_probability(name: str) -> Callable[[RunSpec], Optional[str]]:
+    def check(spec: RunSpec) -> Optional[str]:
+        value = getattr(spec, name)
+        if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+            return f"{name} must be a probability in [0, 1], got {value!r}"
+        return None
+
+    return check
+
+
+def _check_positive(name: str, *, optional: bool = False,
+                    floor: int = 1) -> Callable[[RunSpec], Optional[str]]:
+    def check(spec: RunSpec) -> Optional[str]:
+        value = getattr(spec, name)
+        if optional and value is None:
+            return None
+        if not isinstance(value, int) or isinstance(value, bool) or value < floor:
+            kind = f"an int >= {floor}" if not optional else f"None or an int >= {floor}"
+            return f"{name} must be {kind}, got {value!r}"
+        return None
+
+    return check
+
+
+def _check_sat_knobs(spec: RunSpec) -> Optional[str]:
+    if spec.workload != "sat":
+        return None
+    from .apps.sat.heuristics import HEURISTIC_NAMES
+
+    if spec.heuristic not in HEURISTIC_NAMES + ("custom",):
+        return (
+            f"unknown heuristic {spec.heuristic!r}; expected one of "
+            f"{HEURISTIC_NAMES} (or 'custom' with execute(heuristic_fn=...))"
+        )
+    err = _enum(spec.simplify, _SIMPLIFY_NAMES, "simplify mode")
+    if err:
+        return err
+    return _enum(spec.hint_mode, _HINT_MODES, "hint_mode")
+
+
+def _check_checkpoint_policy(spec: RunSpec) -> Optional[str]:
+    if spec.checkpoint_dir is not None and spec.checkpoint_every is None:
+        # mirror the CheckpointError text run_recursive would raise
+        return "checkpoint_dir/checkpoint_sink need checkpoint_every"
+    return None
+
+
+def _check_checkpoint_capability(spec: RunSpec) -> Optional[str]:
+    if spec.checkpoint_every is None:
+        return None
+    blockers = checkpoint_blockers(spec)
+    return blockers[0] if blockers else None
+
+
+def _check_shard_capability(spec: RunSpec) -> Optional[str]:
+    if spec.shards <= 1:
+        return None
+    blockers = shard_blockers(spec)
+    return blockers[0] if blockers else None
+
+
+def _check_retry_limit(spec: RunSpec) -> Optional[str]:
+    if spec.retry_limit is None:
+        return None
+    if not isinstance(spec.retry_limit, int) or spec.retry_limit < 0:
+        return f"retry_limit must be None or an int >= 0, got {spec.retry_limit!r}"
+    if not spec.reliable:
+        return "retry_limit needs reliable=True (it configures the layer-1.5 protocol)"
+    return None
+
+
+#: the one capability-rule table: every entry point rejects through this
+RULES: Tuple[Rule, ...] = (
+    Rule("workload", "workload is a known registry name",
+         lambda s: _enum(s.workload, WORKLOAD_NAMES, "workload")),
+    Rule("workload-params", "workload_params carry what the workload needs",
+         _check_workload_params),
+    Rule("topology", "topology spec (when given) parses; trigger_node in range",
+         _check_topology),
+    Rule("mapper", "mapper is a known registry name",
+         lambda s: _enum(s.mapper, ("rr", "lbn", "random", "hint"), "mapper")),
+    Rule("status", "status is None or an int threshold",
+         lambda s: None if s.status is None or
+         (isinstance(s.status, int) and not isinstance(s.status, bool))
+         else f"status must be None or an int threshold, got {s.status!r}"),
+    Rule("sat-knobs", "heuristic/simplify/hint_mode are valid (sat only)",
+         _check_sat_knobs),
+    Rule("share-load", "share_load is 'queue' or 'invocations'",
+         lambda s: _enum(s.share_load, _SHARE_LOADS, "share_load")),
+    Rule("queue-policy", "queue_policy is fifo/lifo/random",
+         lambda s: _enum(s.queue_policy, _QUEUE_POLICIES, "queue_policy")),
+    Rule("queue-capacity", "queue_capacity is None or >= 1",
+         _check_positive("queue_capacity", optional=True)),
+    Rule("scheduler-budget", "scheduler_budget is None or >= 1",
+         _check_positive("scheduler_budget", optional=True)),
+    Rule("share-threshold", "share_threshold is None or >= 0",
+         _check_positive("share_threshold", optional=True, floor=0)),
+    Rule("forward-hops", "forward_hops is >= 0",
+         _check_positive("forward_hops", floor=0)),
+    Rule("latency", "latency is >= 0", _check_positive("latency", floor=0)),
+    Rule("max-steps", "max_steps is >= 1", _check_positive("max_steps")),
+    Rule("drop", "drop is a probability in [0, 1]", _check_probability("drop")),
+    Rule("duplicate", "duplicate is a probability in [0, 1]",
+         _check_probability("duplicate")),
+    Rule("retry-limit", "retry_limit is None, or >= 0 with reliable=True",
+         _check_retry_limit),
+    Rule("checkpoint-every", "checkpoint_every is None or >= 1",
+         _check_positive("checkpoint_every", optional=True)),
+    Rule("checkpoint-policy", "checkpoint_dir needs checkpoint_every",
+         _check_checkpoint_policy),
+    Rule("checkpoint-capability",
+         "checkpointing excludes traversal and the shared-RNG 'random' heuristic",
+         _check_checkpoint_capability),
+    Rule("shards", "shards is >= 1", _check_positive("shards")),
+    Rule("partitioner", "partitioner is a known registry name",
+         lambda s: _enum(s.partitioner, _PARTITIONER_NAMES, "partitioner")),
+    Rule("shard-backend", "shard_backend is auto/process/inline",
+         lambda s: _enum(s.shard_backend, _SHARD_BACKENDS, "shard_backend")),
+    Rule("shard-capability",
+         "sharding excludes the shared-RNG 'random' heuristic and work sharing",
+         _check_shard_capability),
+)
+
+
+def violations(spec: RunSpec) -> List[Tuple[str, str]]:
+    """Every ``(rule_code, message)`` the spec breaks, in table order."""
+    found = []
+    for rule in RULES:
+        message = rule.check(spec)
+        if message is not None:
+            found.append((rule.code, message))
+    return found
+
+
+def validate(spec: RunSpec) -> RunSpec:
+    """Raise :class:`SpecError` on the first broken rule; return the spec.
+
+    The single gate all entry points (CLI, ``solve_on_machine`` shim,
+    conformance fuzzer, checkpoint resume) reject configurations through,
+    so they all produce identical error messages.
+    """
+    broken = violations(spec)
+    if broken:
+        raise SpecError(broken[0][1])
+    return spec
+
+
+# -- the result -------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """Everything :func:`execute` can tell you about one finished run.
+
+    ``verdict`` is plain comparable data (the conformance oracle's
+    comparand); ``results`` is the raw layer-5 result list.  The two state
+    digests differ only when a telemetry bus was attached: ``state_digest``
+    covers every composed layer (what ``solve_on_machine`` reports),
+    ``semantic_digest`` excludes the telemetry layer (what cross-mode
+    parity compares — gauge last-values depend on event-relay
+    interleaving).  Both are None unless the run checkpointed/resumed or
+    the caller asked (``want_state_digest=True``)."""
+
+    spec: RunSpec
+    completed: bool
+    results: List[Any]
+    verdict: Any
+    report: Any
+    engine_stats: Any = None
+    link_stats: Any = None
+    state_digest: Optional[str] = None
+    semantic_digest: Optional[str] = None
+    telemetry: Any = None
+
+    @property
+    def result(self) -> Any:
+        """The first (root) result, or None when the run was incomplete."""
+        return self.results[0] if self.results else None
+
+    def schedule_digest(self) -> str:
+        """Digest of the observable schedule (verdict + report totals)."""
+        return schedule_digest(self.verdict, self.report)
+
+
+def schedule_digest(verdict: Any, report: Any) -> str:
+    """Canonical digest of one run's observable schedule.
+
+    Verdict + step count + computation time + send/deliver/drop totals +
+    the per-step queue-depth series: what the conformance oracle requires
+    to be bit-identical across execution modes.
+    """
+    return canonical_digest({
+        "verdict": verdict,
+        "steps": report.steps,
+        "computation_time": report.computation_time,
+        "sent": report.sent_total,
+        "delivered": report.delivered_total,
+        "dropped": report.dropped_total,
+        "queued": [int(q) for q in report.queued_series],
+    })
+
+
+# -- execution --------------------------------------------------------------
+
+
+def _header_spec(spec: RunSpec) -> RunSpec:
+    """The spec a checkpoint header embeds.
+
+    Shard layout is normalised away: checkpoints never record the shard
+    count (a sharded run resumes serially and vice versa), so the header
+    describes the canonical serial run.
+    """
+    return spec.with_(shards=1, partitioner="strip", shard_backend="auto")
+
+
+def _resolve_reliability(spec: RunSpec, reliability: Any) -> Any:
+    if reliability is not None:
+        return reliability
+    if spec.retry_limit is not None:
+        from .reliability import ReliabilityConfig
+
+        return ReliabilityConfig(retry_limit=spec.retry_limit)
+    return spec.reliable
+
+
+def _resolve_workload(
+    spec: RunSpec,
+    *,
+    sharded: bool,
+    heuristic_fn: Any,
+    fn: Any,
+    args: Any,
+    fn_spec: Any,
+) -> Tuple[Any, Any, Any]:
+    """The layer-5 function, its argument and (sharded) picklable recipe."""
+    if spec.workload == "sat":
+        from .apps.sat.distributed import SatProblem, make_solve_sat
+
+        heuristic: Any = spec.heuristic
+        if spec.heuristic == "custom":
+            if heuristic_fn is None:
+                raise SpecError(
+                    "heuristic 'custom' needs execute(heuristic_fn=...)"
+                )
+            heuristic = heuristic_fn
+        kwargs = dict(hint_mode=spec.hint_mode, simplify=spec.simplify)
+        run_fn = make_solve_sat(heuristic, rng=random.Random(spec.seed), **kwargs)
+        run_spec = None
+        if sharded:
+            # workers rebuild the generator function from this picklable recipe
+            run_spec = ShardProgramSpec(
+                make_solve_sat, heuristic, rng=random.Random(spec.seed), **kwargs
+            )
+        return run_fn, SatProblem(cnf_of(spec.workload_params)), run_spec
+    if spec.workload == "fib":
+        from .apps.fib import fib
+
+        return fib, spec.workload_params["n"], None  # module-level: pickles
+    if spec.workload == "nqueens":
+        from .apps.nqueens import QueensProblem, nqueens
+
+        return nqueens, QueensProblem(spec.workload_params["n"]), None
+    if spec.workload == "sumrec":
+        from .apps.sumrec import calculate_sum
+
+        return calculate_sum, spec.workload_params["n"], None
+    # custom: the function is a runtime attachment
+    if fn is None:
+        raise SpecError("workload 'custom' needs execute(fn=...)")
+    return fn, args, fn_spec
+
+
+def _verdict_of(spec: RunSpec, results: List[Any]) -> Tuple[bool, Any]:
+    """Plain comparable data from the raw layer-5 results."""
+    if not results:
+        return False, INCOMPLETE
+    raw = results[0]
+    if spec.workload == "sat":
+        return True, {
+            "kind": "sat",
+            "sat": raw is not None,
+            "assignment": sorted(dict(raw).items()) if raw is not None else None,
+        }
+    if spec.workload == "fib":
+        return True, {"kind": "fib", "value": raw}
+    if spec.workload == "nqueens":
+        return True, {
+            "kind": "nqueens",
+            "placement": list(raw) if raw is not None else None,
+        }
+    if spec.workload == "sumrec":
+        return True, {"kind": "sumrec", "value": raw}
+    return True, {"kind": "custom", "value": raw}
+
+
+def _traversal_visited_rpc(program, ctx, arg):
+    """map_nodes RPC: read one node's visited flag inside its shard."""
+    return bool(ctx.state["visited"])
+
+
+def _execute_traversal(
+    spec: RunSpec,
+    topo: Topology,
+    *,
+    telemetry: Any,
+    reliability: Any,
+    want_digest: bool,
+) -> RunResult:
+    """The bare layer-1 path: no stack, just a machine and a flood."""
+    from .apps.traversal import traversal_program
+
+    if spec.drop or spec.duplicate:
+        faults = FaultModel(
+            spec.drop, spec.duplicate, rng=substream(spec.seed, "l1-faults")
+        )
+    else:
+        faults = ReliableLinks
+    common = dict(
+        seed=spec.seed,
+        faults=faults,
+        reliability=reliability,
+        telemetry=telemetry,
+        queue_policy=spec.queue_policy,
+        queue_capacity=spec.queue_capacity,
+        latency=spec.latency,
+    )
+    n_shards = min(spec.shards, topo.n_nodes)
+    if n_shards > 1:
+        machine: Machine = ShardedMachine(
+            topo,
+            ShardProgramSpec(traversal_program),
+            shards=n_shards,
+            partitioner=spec.partitioner,
+            shard_backend=spec.shard_backend,
+            **common,
+        )
+    else:
+        machine = Machine(topo, traversal_program(), **common)
+    machine.inject(spec.trigger_node, EMPTY_MSG)
+    report = machine.run(max_steps=spec.max_steps)
+    if isinstance(machine, ShardedMachine):
+        per = machine.map_nodes(_traversal_visited_rpc)
+        visited = [n for n in topo.nodes() if per[n]]
+        machine.drain_telemetry()
+    else:
+        visited = [n for n in topo.nodes() if machine.state_of(n)["visited"]]
+    verdict = {"kind": "traversal", "visited": visited}
+    state_digest = None
+    if want_digest:
+        layers: Dict[str, Any] = {"netsim": machine.snapshot()}
+        if machine.reliability is not None:
+            layers["reliability"] = machine.reliability.snapshot()
+        state_digest = state_digest_of(layers)
+    rel = machine.reliability
+    link_stats = rel.stats if rel is not None else None
+    close = getattr(machine, "close", None)
+    if close is not None:
+        close()
+    return RunResult(
+        spec=spec,
+        completed=True,
+        results=[],
+        verdict=verdict,
+        report=report,
+        link_stats=link_stats,
+        # a traversal run has no telemetry layer in its composed state,
+        # so the full and semantic digests coincide
+        state_digest=state_digest,
+        semantic_digest=state_digest,
+        telemetry=telemetry,
+    )
+
+
+def execute(
+    spec: RunSpec,
+    *,
+    topology: Optional[Topology] = None,
+    telemetry: Any = None,
+    size_fn: Optional[Callable[[Any], int]] = None,
+    checkpoint_sink: Optional[Callable[[Any], None]] = None,
+    checkpoint_meta: Optional[Dict[str, Any]] = None,
+    resume_from: Any = None,
+    reliability: Any = None,
+    heuristic_fn: Any = None,
+    mapper_factory: Any = None,
+    status_factory: Any = None,
+    fn: Any = None,
+    args: Any = None,
+    fn_spec: Any = None,
+    want_state_digest: Optional[bool] = None,
+) -> RunResult:
+    """Validate ``spec`` and run it; the one run entry point.
+
+    Everything declarative lives in the spec.  The keyword arguments are
+    the runtime attachments a JSON spec cannot carry:
+
+    * ``topology`` — a pre-built :class:`~repro.topology.Topology`,
+      overriding (or standing in for a missing) ``spec.topology`` string;
+    * ``telemetry`` — a :class:`~repro.telemetry.TelemetryBus` (or
+      ``True`` for a fresh one, reachable as ``result.telemetry``);
+    * ``size_fn`` — a message-size model (``spec.sat_sizing`` builds the
+      standard SAT envelope sizer when this is omitted);
+    * ``checkpoint_sink`` / ``resume_from`` — in-memory checkpoint
+      capture and resume (file-based policy is in the spec);
+    * ``checkpoint_meta`` — extra header entries merged next to the
+      canonical ``runspec`` header;
+    * ``reliability`` — a configured
+      :class:`~repro.reliability.ReliabilityConfig` overriding the
+      spec's ``reliable``/``retry_limit`` pair;
+    * ``heuristic_fn`` / ``mapper_factory`` / ``status_factory`` —
+      callable substitutes for the registry names (the spec then says
+      ``"custom"`` / keeps its name for the record);
+    * ``fn`` / ``args`` / ``fn_spec`` — the ``custom`` workload's
+      generator function, root argument and picklable shard recipe;
+    * ``want_state_digest`` — force state-digest computation on or off
+      (default: computed exactly when the run checkpoints or resumes).
+
+    Returns a :class:`RunResult`; raises :class:`SpecError` (a broken
+    rule), :class:`~repro.errors.SimulationError` (incomplete strict run)
+    or :class:`~repro.errors.CheckpointError` (bad resume state) like the
+    layers it assembles.
+    """
+    validate(spec)
+    if telemetry is True:
+        from .telemetry import TelemetryBus
+
+        telemetry = TelemetryBus()
+    topo = topology
+    if topo is None:
+        if spec.topology is None:
+            raise SpecError(
+                "spec has no topology string; pass a Topology object via "
+                "execute(..., topology=...)"
+            )
+        topo = topology_from_spec(spec.topology)
+    if not 0 <= spec.trigger_node < topo.n_nodes:
+        raise SpecError(
+            f"trigger_node {spec.trigger_node} out of range for "
+            f"{topo.describe()} ({topo.n_nodes} nodes)"
+        )
+    rel = _resolve_reliability(spec, reliability)
+    if size_fn is None and spec.sat_sizing:
+        from .apps.sat import sat_content_size
+        from .netsim import make_envelope_sizer
+
+        size_fn = make_envelope_sizer(sat_content_size)
+
+    checkpointing = spec.checkpoint_every is not None or resume_from is not None
+    want = want_state_digest if want_state_digest is not None else checkpointing
+
+    if spec.workload == "traversal":
+        return _execute_traversal(
+            spec, topo, telemetry=telemetry, reliability=rel, want_digest=want
+        )
+
+    n_shards = min(spec.shards, topo.n_nodes)
+    stack = HyperspaceStack(
+        topo,
+        mapper=mapper_factory if mapper_factory is not None else spec.mapper,
+        status=status_factory if status_factory is not None else spec.status,
+        cancellation=spec.cancellation,
+        forward_hops=spec.forward_hops,
+        share_threshold=spec.share_threshold,
+        share_load=spec.share_load,
+        seed=spec.seed,
+        scheduler_budget=spec.scheduler_budget,
+        queue_policy=spec.queue_policy,
+        queue_capacity=spec.queue_capacity,
+        record_queue_depths=spec.record_queue_depths,
+        size_fn=size_fn,
+        latency=spec.latency,
+        drop=spec.drop,
+        duplicate=spec.duplicate,
+        reliable=rel,
+        telemetry=telemetry,
+        shards=n_shards,
+        shard_partitioner=spec.partitioner,
+        shard_backend=spec.shard_backend,
+    )
+    run_fn, run_args, run_fn_spec = _resolve_workload(
+        spec, sharded=n_shards > 1, heuristic_fn=heuristic_fn,
+        fn=fn, args=args, fn_spec=fn_spec,
+    )
+    meta: Optional[Dict[str, Any]] = None
+    if spec.checkpoint_every is not None:
+        # the canonical header: `repro solve --resume` rebuilds the run
+        # from this spec through this same function
+        meta = dict(checkpoint_meta or {})
+        meta.setdefault("runspec", _header_spec(spec).to_dict())
+    try:
+        _raw, report = stack.run_recursive(
+            run_fn,
+            None if resume_from is not None else run_args,
+            trigger_node=spec.trigger_node,
+            max_steps=spec.max_steps,
+            strict=spec.strict,
+            halt_on_result=not spec.drain,
+            checkpoint_every=spec.checkpoint_every,
+            checkpoint_dir=spec.checkpoint_dir,
+            checkpoint_sink=checkpoint_sink,
+            checkpoint_meta=meta,
+            resume_from=resume_from,
+            fn_spec=run_fn_spec,
+        )
+    except BaseException:
+        # a strict run that timed out (or a mid-run error) must not leak
+        # sharded worker processes
+        last = stack.last_run
+        if last is not None:
+            close = getattr(last.machine, "close", None)
+            if close is not None:
+                close()
+        raise
+    run = stack.last_run
+    assert run is not None
+    completed, verdict = _verdict_of(spec, run.results)
+    state_digest = semantic_digest = None
+    if want:
+        layers = stack._compose_layers(run.machine, run.scheduler)
+        state_digest = state_digest_of(layers)
+        semantic_digest = state_digest_of(
+            {k: v for k, v in layers.items() if k != "telemetry"}
+        )
+    rel_layer = run.machine.reliability
+    link_stats = rel_layer.stats if rel_layer is not None else None
+    close = getattr(run.machine, "close", None)
+    if close is not None:
+        close()
+    return RunResult(
+        spec=spec,
+        completed=completed,
+        results=list(run.results),
+        verdict=verdict,
+        report=report,
+        engine_stats=run.engine_stats,
+        link_stats=link_stats,
+        state_digest=state_digest,
+        semantic_digest=semantic_digest,
+        telemetry=telemetry,
+    )

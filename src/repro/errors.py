@@ -63,3 +63,11 @@ class ApplicationError(ReproError):
 
 class DimacsFormatError(ApplicationError):
     """Malformed DIMACS CNF input."""
+
+
+class SpecError(ApplicationError):
+    """A :class:`repro.engine.RunSpec` failed a capability/validation rule.
+
+    Subclasses :class:`ApplicationError` so existing callers that catch
+    layer-5 misconfiguration (the CLI's exit-2 paths, ``pytest.raises``
+    on the random-heuristic guards) keep working unchanged."""

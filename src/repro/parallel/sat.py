@@ -15,7 +15,6 @@ from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
-from ..apps.sat import solve_on_machine
 from ..apps.sat.cnf import CNF
 from ..topology import Topology
 from .executor import resolve_jobs, run_tasks
@@ -47,6 +46,37 @@ class SatTask(NamedTuple):
     collect_activity: bool = False
     collect_heatmap: bool = False
 
+    def to_runspec(self):
+        """The canonical :class:`repro.engine.RunSpec` for this cell.
+
+        The topology rides along as an *object* (sweeps build exotic
+        meshes directly), so :func:`run_sat_task` passes it to
+        :func:`~repro.engine.execute` explicitly; the spec's topology
+        string is best-effort via :func:`~repro.topology.spec_of`.
+        """
+        from ..engine import RunSpec
+        from ..topology import spec_of
+
+        return RunSpec(
+            workload="sat",
+            workload_params={
+                "clauses": [list(c) for c in self.cnf.clauses],
+                "num_vars": self.cnf.num_vars,
+            },
+            topology=spec_of(self.topology),
+            mapper=self.mapper,
+            status=self.status,
+            heuristic=self.heuristic,
+            cancellation=self.cancellation,
+            hint_mode=self.hint_mode,
+            simplify=self.simplify,
+            seed=self.seed,
+            max_steps=self.max_steps,
+            drain=self.drain,
+            share_threshold=self.share_threshold,
+            sat_sizing=self.sat_sizing,
+        )
+
 
 class SatOutcome(NamedTuple):
     """The metrics one sweep cell contributes to its bench's aggregates."""
@@ -67,29 +97,17 @@ class SatOutcome(NamedTuple):
 
 def run_sat_task(task: SatTask) -> SatOutcome:
     """Execute one sweep cell; the pool's worker function."""
-    size_fn = None
-    if task.sat_sizing:
-        from ..apps.sat import sat_content_size
-        from ..netsim import make_envelope_sizer
+    from ..engine import execute
 
-        size_fn = make_envelope_sizer(sat_content_size)
-    res = solve_on_machine(
-        task.cnf,
-        task.topology,
-        mapper=task.mapper,
-        status=task.status,
-        heuristic=task.heuristic,
-        cancellation=task.cancellation,
-        hint_mode=task.hint_mode,
-        simplify=task.simplify,
-        seed=task.seed,
-        max_steps=task.max_steps,
-        drain=task.drain,
-        share_threshold=task.share_threshold,
-        size_fn=size_fn,
-    )
-    report = res.report
-    stats = res.engine_stats
+    run = execute(task.to_runspec(), topology=task.topology)
+    report = run.report
+    stats = run.engine_stats
+    satisfiable = bool(run.verdict["sat"])
+    if satisfiable:
+        model = dict(run.verdict["assignment"])
+        verified = task.cnf.is_satisfied_by(model)
+    else:
+        verified = True  # UNSAT verdicts are verified against dpll elsewhere
     return SatOutcome(
         computation_time=report.computation_time,
         sent_total=report.sent_total,
@@ -97,8 +115,8 @@ def run_sat_task(task: SatTask) -> SatOutcome:
         traffic_total=report.traffic_total,
         peak_queued=report.peak_queued,
         active_nodes=report.active_node_count,
-        satisfiable=res.satisfiable,
-        verified=res.verified,
+        satisfiable=satisfiable,
+        verified=verified,
         invocations=stats.invocations if stats is not None else 0,
         completions=stats.completions if stats is not None else 0,
         activity=report.interconnect_activity if task.collect_activity else None,

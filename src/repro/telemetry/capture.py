@@ -25,62 +25,74 @@ __all__ = ["WORKLOADS", "capture_workload", "capture_sat_trace"]
 
 
 def _run_sat(bus: TelemetryBus, topology, seed: int) -> Dict[str, Any]:
-    from ..apps.sat import solve_on_machine, uf20_91_suite
+    from ..apps.sat import uf20_91_suite
+    from ..engine import RunSpec, execute
+    from ..topology import spec_of
 
     cnf = uf20_91_suite(1, seed=seed)[0]
-    res = solve_on_machine(
-        cnf, topology, mapper="lbn", status=16, seed=seed, telemetry=bus
+    spec = RunSpec(
+        workload="sat",
+        workload_params={
+            "clauses": [list(c) for c in cnf.clauses],
+            "num_vars": cnf.num_vars,
+        },
+        topology=spec_of(topology),
+        mapper="lbn",
+        status=16,
+        seed=seed,
+    )
+    run = execute(spec, topology=topology, telemetry=bus)
+    satisfiable = bool(run.verdict["sat"])
+    verified = (
+        cnf.is_satisfied_by(dict(run.verdict["assignment"]))
+        if satisfiable
+        else True
     )
     return {
-        "satisfiable": res.satisfiable,
-        "verified": res.verified,
-        "computation_time": res.report.computation_time,
-        "sent": res.report.sent_total,
+        "satisfiable": satisfiable,
+        "verified": verified,
+        "computation_time": run.report.computation_time,
+        "sent": run.report.sent_total,
     }
 
 
-def _stack_workload(fn_path: str, args: Any, mapper: str = "rr"):
+def _stack_workload(workload: str, n: int, mapper: str = "rr"):
     def run(bus: TelemetryBus, topology, seed: int) -> Dict[str, Any]:
-        import importlib
+        from ..engine import RunSpec, execute
+        from ..topology import spec_of
 
-        from ..stack import HyperspaceStack
-
-        module_name, fn_name = fn_path.rsplit(".", 1)
-        fn = getattr(importlib.import_module(module_name), fn_name)
-        stack = HyperspaceStack(topology, mapper=mapper, seed=seed, telemetry=bus)
-        result, report = stack.run_recursive(fn, args)
+        spec = RunSpec(
+            workload=workload,
+            workload_params={"n": n},
+            topology=spec_of(topology),
+            mapper=mapper,
+            seed=seed,
+            drain=False,
+        )
+        res = execute(spec, topology=topology, telemetry=bus)
         return {
-            "result": repr(result),
-            "computation_time": report.computation_time,
-            "sent": report.sent_total,
+            "result": repr(res.result),
+            "computation_time": res.report.computation_time,
+            "sent": res.report.sent_total,
         }
 
     return run
 
 
-def _run_nqueens(bus: TelemetryBus, topology, seed: int) -> Dict[str, Any]:
-    from ..apps.nqueens import QueensProblem, nqueens
-    from ..stack import HyperspaceStack
-
-    stack = HyperspaceStack(topology, mapper="lbn", seed=seed, telemetry=bus)
-    placement, report = stack.run_recursive(nqueens, QueensProblem(6))
-    return {
-        "result": repr(placement),
-        "computation_time": report.computation_time,
-        "sent": report.sent_total,
-    }
-
-
 def _run_traversal(bus: TelemetryBus, topology, seed: int) -> Dict[str, Any]:
-    from ..netsim import EMPTY_MSG, Machine
-    from ..apps.traversal import traversal_program
+    from ..engine import RunSpec, execute
+    from ..topology import spec_of
 
-    machine = Machine(topology, traversal_program(), telemetry=bus)
-    machine.inject(0, EMPTY_MSG)
-    report = machine.run()
+    spec = RunSpec(
+        workload="traversal",
+        workload_params={},
+        topology=spec_of(topology),
+        seed=seed,
+    )
+    run = execute(spec, topology=topology, telemetry=bus)
     return {
-        "computation_time": report.computation_time,
-        "sent": report.sent_total,
+        "computation_time": run.report.computation_time,
+        "sent": run.report.sent_total,
     }
 
 
@@ -94,17 +106,17 @@ WORKLOADS: Dict[str, Tuple[str, str, Callable]] = {
     "sumrec": (
         "the paper's Listing-3 recursive sum (layers 1-4)",
         "torus2d:8x8",
-        _stack_workload("repro.apps.sumrec.calculate_sum", 60),
+        _stack_workload("sumrec", 60),
     ),
     "fib": (
         "fork-join Fibonacci (layers 1-4, fixed fan-out)",
         "torus2d:8x8",
-        _stack_workload("repro.apps.fib.fib", 13),
+        _stack_workload("fib", 13),
     ),
     "nqueens": (
         "6-queens via non-deterministic choice (layers 1-4)",
         "torus2d:8x8",
-        _run_nqueens,
+        _stack_workload("nqueens", 6, mapper="lbn"),
     ),
     "traversal": (
         "Listing-1 mesh flood fill (layer 1 only)",
@@ -194,32 +206,38 @@ def capture_sat_trace(
 ) -> Dict[str, Any]:
     """Trace one SAT sweep cell (the figure benches' representative run).
 
-    Runs :func:`repro.apps.sat.solve_on_machine` with a fresh telemetry
-    pipeline and writes the Chrome trace — the profiling lens of the
-    paper's §V-C, per event instead of per aggregate.
+    Runs the cell's canonical :class:`repro.engine.RunSpec` through
+    :func:`repro.engine.execute` with a fresh telemetry pipeline and
+    writes the Chrome trace — the profiling lens of the paper's §V-C,
+    per event instead of per aggregate.
     """
-    from ..apps.sat import solve_on_machine
+    from ..engine import RunSpec, execute
+    from ..topology import spec_of
 
     bus = TelemetryBus()
     exporter = bus.attach(ChromeTraceExporter())
     metrics = bus.attach(MetricsSubscriber())
-    res = solve_on_machine(
-        cnf,
-        topology,
+    spec = RunSpec(
+        workload="sat",
+        workload_params={
+            "clauses": [list(c) for c in cnf.clauses],
+            "num_vars": cnf.num_vars,
+        },
+        topology=spec_of(topology),
         mapper=mapper,
         status=status,
         heuristic=heuristic,
         simplify=simplify,
         seed=seed,
         max_steps=max_steps,
-        telemetry=bus,
     )
+    run = execute(spec, topology=topology, telemetry=bus)
     trace_path = exporter.write(out)
     summary: Dict[str, Any] = {
         "topology": topology.describe(),
         "mapper": mapper,
-        "satisfiable": res.satisfiable,
-        "computation_time": res.report.computation_time,
+        "satisfiable": bool(run.verdict["sat"]),
+        "computation_time": run.report.computation_time,
         "events": len(exporter),
         "layers": exporter.layers(),
         "trace_path": str(trace_path),

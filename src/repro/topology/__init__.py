@@ -22,7 +22,7 @@ from .embedding import (
     gray_code,
     gray_rank,
 )
-from .factory import balanced_dims, nearest_mesh_dims, topology_from_spec
+from .factory import balanced_dims, nearest_mesh_dims, spec_of, topology_from_spec
 from .fully_connected import FullyConnected, Star
 from .hypercube import Hypercube
 from .torus import Grid, Line, Ring, Torus
@@ -44,6 +44,7 @@ __all__ = [
     "Star",
     "CompleteTree",
     "CubeConnectedCycles",
+    "spec_of",
     "topology_from_spec",
     "balanced_dims",
     "nearest_mesh_dims",

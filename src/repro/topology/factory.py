@@ -30,7 +30,7 @@ from .hypercube import Hypercube
 from .torus import Grid, Line, Ring, Torus
 from .tree import CompleteTree
 
-__all__ = ["topology_from_spec", "balanced_dims", "nearest_mesh_dims"]
+__all__ = ["spec_of", "topology_from_spec", "balanced_dims", "nearest_mesh_dims"]
 
 
 def balanced_dims(n_nodes: int, ndim: int) -> Tuple[int, ...]:
@@ -139,3 +139,38 @@ def topology_from_spec(spec: str) -> Topology:
             raise TopologyError(f"tree spec wants 'arity x levels', got {params!r}")
         return CompleteTree(dims[0], dims[1])
     raise TopologyError(f"unknown topology kind {kind!r} in spec {spec!r}")
+
+
+def spec_of(topology: Topology) -> "str | None":
+    """The spec string that re-parses to an equal topology, or ``None``.
+
+    The inverse of :func:`topology_from_spec` for every built-in family
+    (``describe()`` output is for humans and does *not* re-parse).  A
+    ``RunSpec`` built from a topology *object* uses this to stay
+    JSON-serialisable; exotic topologies (``CustomTopology``, embeddings)
+    have no spec string and yield ``None`` — such runs execute fine but
+    their checkpoint headers cannot rebuild the machine unaided.
+
+    Subclass order matters: a :class:`Ring` *is a* :class:`Torus` and a
+    :class:`Line` *is a* :class:`Grid`, so the specific kinds are tested
+    first.
+    """
+    if isinstance(topology, Ring):
+        return f"ring:{topology.n_nodes}"
+    if isinstance(topology, Line):
+        return f"line:{topology.n_nodes}"
+    if isinstance(topology, Torus):
+        return "torus:" + "x".join(str(d) for d in topology.shape)
+    if isinstance(topology, Grid):
+        return "grid:" + "x".join(str(d) for d in topology.shape)
+    if isinstance(topology, Hypercube):
+        return f"hypercube:{topology.dimension}"
+    if isinstance(topology, CubeConnectedCycles):
+        return f"ccc:{topology.dimension}"
+    if isinstance(topology, CompleteTree):
+        return f"tree:{topology.arity}x{topology.levels}"
+    if isinstance(topology, FullyConnected):
+        return f"full:{topology.n_nodes}"
+    if isinstance(topology, Star):
+        return f"star:{topology.n_nodes}"
+    return None

@@ -438,7 +438,9 @@ class TestSatResumeParity:
                 f"[{config}] resume from step {ckpt.step} diverged"
             )
 
-    def test_workload_header_embedded(self, tmp_path):
+    def test_runspec_header_embedded(self, tmp_path):
+        from repro.engine import RunSpec
+
         cnf = CNF([(1, -2), (2,)], num_vars=2)
         solve_on_machine(
             cnf, Ring(4), checkpoint_every=1, checkpoint_dir=tmp_path,
@@ -447,11 +449,18 @@ class TestSatResumeParity:
         files = sorted(tmp_path.glob("checkpoint-*.ckpt"))
         assert files
         meta = load_checkpoint(files[0]).meta
-        wl = meta["workload"]
-        assert wl["kind"] == "sat"
-        assert wl["topology_spec"] == "ring:4"
-        assert wl["num_vars"] == 2
-        assert CNF([tuple(c) for c in wl["clauses"]], wl["num_vars"]).num_clauses == 2
+        # the header is the canonical RunSpec JSON dict: `repro solve
+        # --resume` rebuilds the whole run from it via engine.execute
+        spec = RunSpec.from_dict(meta["runspec"])
+        assert spec.workload == "sat"
+        assert spec.topology == "ring:4"
+        assert spec.seed == 9 and spec.simplify == "none"
+        params = spec.workload_params
+        assert params["num_vars"] == 2
+        cnf2 = CNF([tuple(c) for c in params["clauses"]], params["num_vars"])
+        assert cnf2.num_clauses == 2
+        # shard layout is normalised away: checkpoints resume serially
+        assert spec.shards == 1
 
     def test_random_heuristic_rejected(self):
         cnf = CNF([(1,)], num_vars=1)

@@ -1,0 +1,309 @@
+"""The engine front door: RunSpec round-trips, the validation table,
+execute() per workload, shim/spec parity, and the entry-point lint.
+
+The engine is the single place machines are assembled, so these tests pin
+its three contracts: a spec is frozen JSON-round-trippable data, the
+capability table rejects the same combinations with the same messages
+everywhere, and a run built from a spec is bit-identical to the same run
+built through the legacy ``solve_on_machine`` kwargs shim.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    RULES,
+    RunSpec,
+    checkpointable,
+    cnf_of,
+    execute,
+    shardable,
+    validate,
+    violations,
+)
+from repro.errors import ApplicationError, SpecError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# -- serialisation ---------------------------------------------------------
+
+
+SPEC_SAMPLES = [
+    RunSpec(),
+    RunSpec(workload="sat",
+            workload_params={"num_vars": 6, "num_clauses": 14, "formula_seed": 3},
+            topology="torus:3x3", mapper="lbn", status=16,
+            heuristic="jeroslow_wang", simplify="fixpoint", hint_mode="vars",
+            seed=42, drop=0.05, duplicate=0.02, reliable=True),
+    RunSpec(workload="sat",
+            workload_params={"clauses": [[1, -2], [2]], "num_vars": 2},
+            topology="ring:4", simplify="none", checkpoint_every=5,
+            checkpoint_dir="ckpts"),
+    RunSpec(workload="traversal", workload_params={}, topology="hypercube:3",
+            shards=2, partitioner="greedy", shard_backend="inline"),
+    RunSpec(workload="nqueens", workload_params={"n": 5}, topology="grid:2x4",
+            drain=False, strict=False, max_steps=500, retry_limit=3,
+            reliable=True),
+]
+
+
+@pytest.mark.parametrize("spec", SPEC_SAMPLES)
+def test_runspec_json_round_trip_identity(spec):
+    assert RunSpec.from_json(spec.to_json()) == spec
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_runspec_canonical_json_is_key_order_independent():
+    spec = RunSpec(workload="fib", workload_params={"n": 7}, topology="ring:4")
+    shuffled = dict(reversed(list(spec.to_dict().items())))
+    assert RunSpec.from_dict(shuffled).canonical_json() == spec.canonical_json()
+    assert RunSpec.from_dict(shuffled).digest() == spec.digest()
+
+
+def test_runspec_rejects_unknown_fields():
+    with pytest.raises(SpecError, match="unknown RunSpec fields"):
+        RunSpec.from_dict({"workload": "fib", "wokload_params": {"n": 1}})
+    with pytest.raises(SpecError, match="unknown RunSpec fields"):
+        RunSpec().with_(wokload="fib")
+
+
+def test_runspec_rejects_future_schema_version():
+    data = RunSpec().to_dict()
+    data["version"] = 999
+    with pytest.raises(SpecError, match="unsupported RunSpec schema version"):
+        RunSpec.from_dict(data)
+
+
+def test_runspec_missing_fields_take_defaults():
+    spec = RunSpec.from_dict({"workload": "fib", "workload_params": {"n": 3}})
+    assert spec.version == 1
+    assert spec.mapper == "rr"
+    assert spec.shards == 1
+
+
+# -- the validation table --------------------------------------------------
+
+
+#: one violating spec per rule code (every row of the table fires)
+RULE_VIOLATIONS = {
+    "workload": RunSpec(workload="bogus"),
+    "workload-params": RunSpec(workload="fib", workload_params={}),
+    "topology": RunSpec(topology="klein-bottle:7"),
+    "mapper": RunSpec(mapper="bogus"),
+    "status": RunSpec(status="sixteen"),
+    "sat-knobs": RunSpec(
+        workload="sat",
+        workload_params={"num_vars": 4, "num_clauses": 9, "formula_seed": 0},
+        heuristic="bogus",
+    ),
+    "share-load": RunSpec(share_load="bogus"),
+    "queue-policy": RunSpec(queue_policy="bogus"),
+    "queue-capacity": RunSpec(queue_capacity=0),
+    "scheduler-budget": RunSpec(scheduler_budget=0),
+    "share-threshold": RunSpec(share_threshold=-1),
+    "forward-hops": RunSpec(forward_hops=-1),
+    "latency": RunSpec(latency=-1),
+    "max-steps": RunSpec(max_steps=0),
+    "drop": RunSpec(drop=1.5),
+    "duplicate": RunSpec(duplicate=-0.1),
+    "retry-limit": RunSpec(retry_limit=3),  # needs reliable=True
+    "checkpoint-every": RunSpec(checkpoint_every=0),
+    "checkpoint-policy": RunSpec(checkpoint_dir="ckpts"),
+    "checkpoint-capability": RunSpec(
+        workload="traversal", workload_params={}, checkpoint_every=5,
+    ),
+    "shards": RunSpec(shards=0),
+    "partitioner": RunSpec(partitioner="bogus"),
+    "shard-backend": RunSpec(shard_backend="bogus"),
+    "shard-capability": RunSpec(share_threshold=4, shards=2),
+}
+
+
+def test_every_rule_has_a_violation_case():
+    assert sorted(RULE_VIOLATIONS) == sorted(r.code for r in RULES)
+
+
+@pytest.mark.parametrize("code", sorted(RULE_VIOLATIONS))
+def test_rule_fires_and_validate_raises(code):
+    spec = RULE_VIOLATIONS[code]
+    assert code in [c for c, _ in violations(spec)]
+    with pytest.raises(SpecError):
+        validate(spec)
+
+
+def test_valid_default_spec_passes():
+    assert violations(RunSpec(topology="ring:4")) == []
+
+
+def test_spec_error_is_an_application_error():
+    # the CLI's exit-2 handler and older pytest.raises(ApplicationError)
+    # call sites catch engine rejections unchanged
+    assert issubclass(SpecError, ApplicationError)
+
+
+def test_capability_messages_are_the_historical_ones():
+    random_sat = RunSpec(
+        workload="sat",
+        workload_params={"num_vars": 4, "num_clauses": 9, "formula_seed": 0},
+        topology="ring:4", heuristic="random",
+    )
+    with pytest.raises(SpecError, match="cannot be checkpointed/resumed"):
+        validate(random_sat.with_(checkpoint_every=5))
+    with pytest.raises(SpecError, match="draws would diverge from a serial run"):
+        validate(random_sat.with_(shards=2))
+    with pytest.raises(SpecError, match="reads live inbox depths"):
+        validate(RunSpec(topology="ring:4", share_threshold=4, shards=2))
+    assert not checkpointable(random_sat)
+    assert not shardable(random_sat)
+    assert checkpointable(RunSpec(topology="ring:4"))
+    assert shardable(RunSpec(topology="ring:4"))
+
+
+# -- execute() per workload ------------------------------------------------
+
+
+def test_execute_fib():
+    run = execute(RunSpec(workload="fib", workload_params={"n": 7},
+                          topology="torus:3x3"))
+    assert run.completed
+    assert run.verdict == {"kind": "fib", "value": 13}
+    assert run.result == 13
+
+
+def test_execute_sumrec():
+    run = execute(RunSpec(workload="sumrec", workload_params={"n": 10},
+                          topology="torus:3x3", drain=False))
+    assert run.result == 55
+    assert run.verdict == {"kind": "sumrec", "value": 55}
+
+
+def test_execute_nqueens():
+    run = execute(RunSpec(workload="nqueens", workload_params={"n": 4},
+                          topology="ring:6"))
+    assert run.verdict["kind"] == "nqueens"
+    assert run.verdict["placement"] is not None
+
+
+def test_execute_sat_generated_formula():
+    spec = RunSpec(
+        workload="sat",
+        workload_params={"num_vars": 6, "num_clauses": 14, "formula_seed": 0},
+        topology="torus:3x3",
+    )
+    run = execute(spec)
+    assert run.verdict["kind"] == "sat"
+    if run.verdict["sat"]:
+        model = dict(run.verdict["assignment"])
+        assert cnf_of(spec.workload_params).is_satisfied_by(model)
+
+
+def test_execute_traversal():
+    run = execute(RunSpec(workload="traversal", workload_params={},
+                          topology="ring:5"))
+    assert run.verdict == {"kind": "traversal", "visited": [0, 1, 2, 3, 4]}
+
+
+def test_execute_custom_needs_fn():
+    spec = RunSpec(workload="custom", workload_params={}, topology="ring:4")
+    with pytest.raises(SpecError, match="custom"):
+        execute(spec)
+
+    from repro.apps.fib import fib
+
+    run = execute(spec, fn=fib, args=6)
+    assert run.verdict == {"kind": "custom", "value": 8}
+
+
+def test_execute_without_topology_anywhere():
+    with pytest.raises(SpecError, match="no topology"):
+        execute(RunSpec(workload="fib", workload_params={"n": 3}))
+
+
+def test_execute_sharded_matches_serial():
+    spec = RunSpec(workload="fib", workload_params={"n": 8},
+                   topology="torus:3x3", seed=5)
+    serial = execute(spec, want_state_digest=True)
+    sharded = execute(spec.with_(shards=2, shard_backend="inline"),
+                      want_state_digest=True)
+    assert serial.verdict == sharded.verdict
+    assert serial.schedule_digest() == sharded.schedule_digest()
+    assert serial.semantic_digest == sharded.semantic_digest
+
+
+# -- kwargs shim parity ----------------------------------------------------
+
+
+def test_solve_on_machine_matches_execute():
+    from repro.apps.sat import uf20_91_suite, solve_on_machine
+    from repro.topology import Torus
+
+    cnf = uf20_91_suite(1, seed=7)[0]
+    topo = Torus((4, 4))
+    res = solve_on_machine(cnf, topo, mapper="lbn", status=16, seed=7,
+                           simplify="single")
+    spec = RunSpec(
+        workload="sat",
+        workload_params={"clauses": [list(c) for c in cnf.clauses],
+                         "num_vars": cnf.num_vars},
+        topology="torus:4x4", mapper="lbn", status=16, seed=7,
+        simplify="single",
+    )
+    run = execute(spec)
+    assert run.verdict["sat"] == res.satisfiable
+    if res.satisfiable:
+        assert dict(run.verdict["assignment"]) == res.assignment
+    assert run.report.computation_time == res.report.computation_time
+    assert run.report.sent_total == res.report.sent_total
+    assert run.report.delivered_total == res.report.delivered_total
+    assert run.report.peak_queued == res.report.peak_queued
+
+
+def test_shim_and_spec_state_digests_agree():
+    from repro.apps.sat import uf20_91_suite, solve_on_machine
+    from repro.topology import Ring
+
+    cnf = uf20_91_suite(1, seed=3)[0]
+    res = solve_on_machine(cnf, Ring(6), seed=3, checkpoint_every=50,
+                           checkpoint_sink=lambda ck: None)
+    spec = RunSpec(
+        workload="sat",
+        workload_params={"clauses": [list(c) for c in cnf.clauses],
+                         "num_vars": cnf.num_vars},
+        topology="ring:6", seed=3, checkpoint_every=50,
+    )
+    run = execute(spec, checkpoint_sink=lambda ck: None)
+    assert res.state_digest is not None
+    assert run.state_digest == res.state_digest
+
+
+# -- the entry-point lint (tier 1) -----------------------------------------
+
+
+def test_entrypoint_lint_passes_on_this_checkout():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_entrypoints.py")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_entrypoint_lint_catches_a_violation(tmp_path):
+    bad = tmp_path / "src" / "repro"
+    bad.mkdir(parents=True)
+    (bad / "rogue.py").write_text(
+        "from repro.stack import HyperspaceStack\n"
+        "stack = HyperspaceStack(object())\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_entrypoints.py"),
+         "--root", str(tmp_path)],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert "rogue.py" in proc.stderr
+    assert "HyperspaceStack" in proc.stderr

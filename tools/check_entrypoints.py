@@ -1,0 +1,120 @@
+"""Entry-point lint: machines are assembled only inside ``repro.engine``.
+
+The engine refactor funnels every run — CLI, library shim, conformance
+oracle, benches, trace capture — through one place:
+``repro.engine.execute`` is the only production code allowed to build a
+:class:`~repro.stack.HyperspaceStack` or a
+:class:`~repro.netsim.sharded.ShardedMachine`.  Any other construction
+site silently forks the capability rules (which knob combinations are
+legal, how defaults are resolved, what the checkpoint header records), so
+this lint walks the AST of every production Python file and fails on a
+call to either constructor outside a short allowlist.
+
+Allowlisted (see ``ALLOWED``):
+
+* ``src/repro/engine.py`` — the funnel itself;
+* ``src/repro/stack.py`` — defines ``HyperspaceStack`` (its docstring
+  examples construct one);
+* ``benchmarks/record_baseline.py`` — measures the raw sharded
+  *coordinator loop* (a layer-1 microbenchmark below the spec level).
+
+Tests and ``examples/`` are out of scope: they exercise the stack
+directly on purpose (white-box digests, teaching material).
+
+Usage (from the repository root)::
+
+    python tools/check_entrypoints.py [--root PATH]
+
+Exit status is non-zero when a violation is found; CI runs this in the
+docs/lint job and ``tests/test_engine.py`` runs it as a tier-1 test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: constructors that assemble a machine
+FORBIDDEN = ("HyperspaceStack", "ShardedMachine")
+
+#: production files allowed to construct them, relative to the root
+ALLOWED = (
+    "src/repro/engine.py",
+    "src/repro/stack.py",
+    "benchmarks/record_baseline.py",
+)
+
+#: production trees the lint walks (tests/ and examples/ are exempt)
+SCANNED = ("src/repro", "benchmarks", "tools")
+
+
+def _called_name(node: ast.Call) -> str:
+    """The rightmost identifier of the call target (``a.b.C() -> "C"``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def scan_file(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, constructor)`` for each forbidden call in ``path``."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:  # a broken file is its own CI failure
+        raise SystemExit(f"{path}: cannot parse: {exc}") from exc
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _called_name(node)
+            if name in FORBIDDEN:
+                yield node.lineno, name
+
+
+def check(root: Path) -> List[str]:
+    """All violations under ``root``, as ready-to-print strings."""
+    allowed = {root / rel for rel in ALLOWED}
+    violations: List[str] = []
+    for tree in SCANNED:
+        base = root / tree
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if path in allowed:
+                continue
+            for lineno, name in scan_file(path):
+                violations.append(
+                    f"{path.relative_to(root)}:{lineno}: {name}(...) constructed "
+                    "outside repro.engine — route this run through "
+                    "repro.engine.execute (or extend ALLOWED in "
+                    "tools/check_entrypoints.py with a justification)"
+                )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", default=str(REPO_ROOT),
+        help="repository root to scan (default: this checkout)",
+    )
+    args = parser.parse_args(argv)
+    violations = check(Path(args.root).resolve())
+    for line in violations:
+        print(line, file=sys.stderr)
+    if violations:
+        print(
+            f"entry-point lint: {len(violations)} violation(s)", file=sys.stderr
+        )
+        return 1
+    print("entry-point lint: ok (machines assembled only in repro.engine)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
